@@ -1,0 +1,32 @@
+# Convenience targets for the jxta-repro repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples experiments experiments-full clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do \
+		echo "== $$f"; \
+		$(PYTHON) $$f || exit 1; \
+	done
+
+# reduced, shape-preserving runs of every paper artefact (minutes)
+experiments:
+	$(PYTHON) -m repro.experiments.cli all --out results-ci
+
+# paper-scale runs: 580 peers, two-hour timelines, full sweeps (~1 h)
+experiments-full:
+	$(PYTHON) -m repro.experiments.cli all --full --out results
+
+clean:
+	rm -rf .pytest_cache .benchmarks results-ci
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,23 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables/figures at a
+CI-sized (shape-preserving) configuration and asserts the published
+qualitative findings; paper-scale runs are available through
+``jxta-repro <experiment> --full``.  Simulation runs are seconds-long
+and deterministic, so a single round per benchmark is meaningful.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` exactly once under pytest-benchmark timing and
+    return its result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

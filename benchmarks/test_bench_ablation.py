@@ -1,0 +1,43 @@
+"""Bench: the §4.1 freshness-vs-bandwidth ablation.
+
+"The freshness of information decreases when the value of the constant
+PVE_EXPIRATION increases, whereas the bandwidth consumption increases
+whenever the value of the constant PEERVIEW_INTERVAL [decreases]."
+
+Asserts both directions of the published compromise at fixed r.
+"""
+
+from repro.experiments import ablation
+from repro.sim import MINUTES, SECONDS
+
+
+def test_ablation_freshness_vs_bandwidth(run_once, capsys):
+    points = run_once(
+        ablation.run,
+        r=30,
+        duration=45 * MINUTES,
+        expirations=(10 * MINUTES, 60 * MINUTES),
+        intervals=(15 * SECONDS, 60 * SECONDS),
+        seed=1,
+    )
+    with capsys.disabled():
+        print()
+        print(ablation.render(points))
+
+    def point(pve, interval):
+        return next(
+            p for p in points
+            if p.pve_expiration == pve and p.peerview_interval == interval
+        )
+
+    # shorter PEERVIEW_INTERVAL -> more bandwidth (at fixed expiration)
+    for pve in (10 * MINUTES, 60 * MINUTES):
+        fast = point(pve, 15 * SECONDS)
+        slow = point(pve, 60 * SECONDS)
+        assert fast.bandwidth_bps_per_rdv > 1.5 * slow.bandwidth_bps_per_rdv
+
+    # longer PVE_EXPIRATION -> more complete views (at fixed interval)
+    for interval in (15 * SECONDS, 60 * SECONDS):
+        short = point(10 * MINUTES, interval)
+        long = point(60 * MINUTES, interval)
+        assert long.mean_l >= short.mean_l

@@ -1,0 +1,51 @@
+"""Bench: baseline comparison (§2 / §3.3 complexity claims).
+
+Asserts the complexity relations the paper states:
+
+* LC-DHT publication is O(1) — a constant handful of messages at any
+  overlay size, "whereas classical DHTs have a complexity in O(log n)
+  for publishing";
+* Chord lookups route in ≤ log2(n) hops;
+* every strategy resolves the query on a static overlay;
+* JXTA strategies carry continuous peerview maintenance traffic that
+  grows with r (the price of the super-peer overlay), while the Chord
+  ring's background traffic is comparatively small.
+"""
+
+import math
+
+from repro.experiments import baselines_exp
+
+
+def test_baseline_complexities(run_once, capsys):
+    points = run_once(
+        baselines_exp.run, r_values=(8, 16, 32), queries=15, seed=1
+    )
+    with capsys.disabled():
+        print()
+        print(baselines_exp.render(points))
+
+    by = {(p.strategy, p.r): p for p in points}
+
+    # every strategy succeeds on a static overlay
+    for p in points:
+        assert p.success == 1.0, (p.strategy, p.r)
+
+    # LC-DHT publish cost is O(1): constant, small, independent of r
+    lcdht_costs = [by[("lcdht", r)].publish_messages for r in (8, 16, 32)]
+    assert max(lcdht_costs) <= 6
+    assert max(lcdht_costs) - min(lcdht_costs) <= 2
+
+    # flooding publish is even cheaper (no replication)
+    for r in (8, 16, 32):
+        assert by[("flood", r)].publish_messages <= by[("lcdht", r)].publish_messages
+
+    # Chord routes in O(log n) hops
+    for r in (8, 16, 32):
+        chord = by[("chord", r)]
+        assert chord.lookup_hops is not None
+        assert chord.lookup_hops <= math.log2(r) + 1
+
+    # JXTA maintenance traffic grows with r; Chord's stays lower
+    assert by[("lcdht", 32)].total_messages > by[("lcdht", 8)].total_messages
+    assert by[("chord", 32)].total_messages < by[("lcdht", 32)].total_messages

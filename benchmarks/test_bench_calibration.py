@@ -1,0 +1,39 @@
+"""Bench: calibration sensitivity (DESIGN.md §5b ablation).
+
+Asserts the structural claims behind the calibrated constants:
+``referral_count`` drives the phase-1 growth (more referrals → higher,
+earlier peak) and ``random_probe_count`` drives the steady-state
+refresh (more refresh probes → higher plateau, more bandwidth).
+"""
+
+from repro.experiments import calibration_exp
+from repro.sim import MINUTES
+
+
+def test_calibration_sensitivity(run_once, capsys):
+    points = run_once(
+        calibration_exp.run,
+        r=40,
+        referral_counts=(1, 3),
+        random_probe_counts=(0, 1),
+        duration=40 * MINUTES,
+        seed=1,
+    )
+    with capsys.disabled():
+        print()
+        print(calibration_exp.render(points))
+
+    by = {
+        (p.referral_count, p.random_probe_count): p for p in points
+    }
+
+    # richer referrals grow the view at least as high, never lower
+    assert by[(3, 1)].peak >= by[(1, 1)].peak
+    assert by[(3, 0)].peak >= by[(1, 0)].peak
+
+    # refresh probes sustain the plateau
+    assert by[(3, 1)].plateau >= by[(3, 0)].plateau
+    assert by[(1, 1)].plateau >= by[(1, 0)].plateau
+
+    # and cost bandwidth
+    assert by[(3, 1)].kbps_per_rdv > by[(3, 0)].kbps_per_rdv

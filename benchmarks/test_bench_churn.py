@@ -1,0 +1,32 @@
+"""Bench: discovery under volatility (the paper's §5 future work).
+
+Asserts the qualitative outcome of the churn extension: the LC-DHT's
+walk fall-back keeps discovery working under mild churn, but the
+success rate degrades as rendezvous sessions shorten — which is
+precisely the open question the paper's conclusion raises about
+loosely-consistent peerviews.
+"""
+
+from repro.experiments import churn_exp
+from repro.sim import MINUTES
+
+
+def test_churn_degrades_discovery(run_once, capsys):
+    points = run_once(
+        churn_exp.run,
+        r=16,
+        sessions=(60 * MINUTES, 5 * MINUTES),
+        queries=50,
+        seed=1,
+    )
+    with capsys.disabled():
+        print()
+        print(churn_exp.render(points))
+
+    mild, harsh = points
+    assert mild.mean_session_minutes > harsh.mean_session_minutes
+    # mild churn: the fall-back keeps most queries working
+    assert mild.success >= 0.6
+    # heavy churn hurts: strictly more kills, lower success
+    assert harsh.kills > mild.kills
+    assert harsh.success < mild.success

@@ -1,0 +1,38 @@
+"""Bench: complex queries (the §5 "range queries" future work).
+
+Asserts the structural cost difference the extension exists to show:
+exact lookups are hash-routed (few or no walk steps) while wildcard
+and range queries walk the peerview (steps growing with r), yet all
+resolve correctly.
+"""
+
+from repro.experiments import complex_queries
+
+
+def test_complex_query_costs(run_once, capsys):
+    points = run_once(
+        complex_queries.run, r_values=(8, 24), queries=10, seed=1
+    )
+    with capsys.disabled():
+        print()
+        print(complex_queries.render(points))
+
+    by = {(p.r, p.kind): p for p in points}
+
+    # correctness: every query kind finds what it should
+    for r in (8, 24):
+        assert by[(r, "exact")].results_found == 1
+        assert by[(r, "wildcard")].results_found == 8
+        assert by[(r, "range")].results_found == 4
+
+    # the walk is what complex queries pay: strictly more walk steps
+    # than the exact lookups at the same r
+    for r in (8, 24):
+        exact = by[(r, "exact")].walk_steps
+        assert by[(r, "wildcard")].walk_steps > exact
+        assert by[(r, "range")].walk_steps > exact
+
+    # the complex-query walk grows with the overlay
+    assert (
+        by[(24, "range")].walk_steps > by[(8, "range")].walk_steps
+    )

@@ -1,0 +1,48 @@
+"""Bench: Figure 3 (left) — peerview size evolution vs r.
+
+CI-sized sweep over the paper's smaller configurations (chains 10, 45,
+50, 80 and a tree); asserts the published findings:
+
+* r = 10 satisfies Property (2) and holds it;
+* r = 45 and 50 reach the maximal value r − 1 but do not hold it
+  (Property (2) violated with default parameters);
+* the bootstrap topology (chain vs tree) has no significant influence.
+"""
+
+from repro.experiments import fig3_left
+from repro.sim import MINUTES
+
+
+def test_fig3_left_peerview_scalability(run_once, capsys):
+    duration = 60 * MINUTES
+    results = run_once(
+        fig3_left.run, fig3_left.CI_CONFIGS, duration=duration, seed=1
+    )
+    with capsys.disabled():
+        print()
+        print(fig3_left.render(results, duration))
+
+    by_key = {(res.r, res.topology): res for res in results}
+
+    # r = 10: Property (2) reached and held (final sizes all 9)
+    small = by_key[(10, "chain")]
+    assert small.reached_max
+    assert small.final_sizes == [9] * 10
+
+    # r = 45, 50 reach the maximal possible value ...
+    assert by_key[(45, "chain")].reached_max
+    assert by_key[(50, "chain")].reached_max
+    # ... but with default parameters the full view is not *held* by
+    # every rendezvous (Property (2) requires l = g for all t2 > t1)
+    assert min(by_key[(50, "chain")].final_sizes) < 49 or (
+        min(by_key[(45, "chain")].final_sizes) < 44
+    )
+
+    # larger overlays plateau visibly below r - 1
+    big = by_key[(80, "chain")]
+    assert big.plateau(duration) < 79
+
+    # chain vs tree: no significant influence (plateaus within 15%)
+    chain80 = by_key[(80, "chain")].plateau(duration)
+    tree80 = by_key[(80, "tree")].plateau(duration)
+    assert abs(chain80 - tree80) / max(chain80, tree80) < 0.15

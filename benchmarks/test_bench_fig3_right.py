@@ -1,0 +1,31 @@
+"""Bench: Figure 3 (right) — add/remove event distribution.
+
+CI-sized version of the r = 580 scatter (r = 60 here; the paper-scale
+point runs via ``jxta-repro fig3-right --full``).  Asserts the two
+published phases and near-complete discovery:
+
+* phase 1 — only add events until PVE_EXPIRATION;
+* phase 2 — removals start at ≈ PVE_EXPIRATION;
+* almost all rendezvous are eventually numbered (577/579 in the
+  paper's 580-peer run).
+"""
+
+from repro.experiments import fig3_right
+from repro.sim import MINUTES
+
+
+def test_fig3_right_event_distribution(run_once, capsys):
+    result = run_once(fig3_right.run, r=60, duration=60 * MINUTES, seed=1)
+    with capsys.disabled():
+        print()
+        print(fig3_right.render(result))
+
+    pve = result.pve_expiration
+    # phase 1: no removal before PVE_EXPIRATION
+    assert all(t >= pve for t, _ in result.remove_points)
+    # phase 2 starts at about PVE_EXPIRATION (within 25%)
+    assert result.first_remove_time <= 1.25 * pve
+    # both event kinds present
+    assert result.add_points and result.remove_points
+    # near-complete discovery (the paper saw 577 of 579)
+    assert result.distinct_discovered >= result.max_possible - 2

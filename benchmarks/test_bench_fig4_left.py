@@ -1,0 +1,30 @@
+"""Bench: Figure 4 (left) — PVE_EXPIRATION tuning at r = 50.
+
+Asserts the paper's finding verbatim: with the default 20-minute
+PVE_EXPIRATION the 50-rendezvous peerview decays after its peak, while
+raising the constant above the experiment duration lets l reach and
+hold its maximum r − 1 = 49 (t1 ≈ 17 min in the paper).
+"""
+
+from repro.experiments import fig4_left
+from repro.sim import MINUTES
+
+
+def test_fig4_left_expiration_tuning(run_once, capsys):
+    result = run_once(fig4_left.run, r=50, duration=60 * MINUTES, seed=1)
+    with capsys.disabled():
+        print()
+        print(fig4_left.render(result))
+
+    # tuned run reaches the maximal value and holds it to the end
+    assert result.tuned_series.max() >= 49
+    assert result.tuned_holds_max()
+    # t1 in the paper is 17 minutes; accept the same order of magnitude
+    t1 = result.t1_minutes()
+    assert t1 is not None
+    assert 5 <= t1 <= 35
+
+    # default run peaks then dips below the maximum (Property (2)
+    # violated: it fluctuates rather than holding l = 49)
+    assert result.default_series.max() >= 45
+    assert result.default_decays()

@@ -1,0 +1,45 @@
+"""Bench: Figure 4 (right) — discovery time vs r, configurations A & B.
+
+CI-sized sweep (the paper's 0-200 sweep runs via ``jxta-repro
+fig4-right --full``).  Asserts the published shape:
+
+* every query succeeds on the static testbed;
+* configuration A stays in the low tens of milliseconds while
+  peerviews are consistent (the paper's ≈12 ms plateau for r ≤ 50);
+* the noise workload (configuration B) costs extra time, and its
+  overhead is largest when the noisers sit on every rendezvous
+  (smallest r) — the paper's 30 ms point at r = 5.
+"""
+
+from repro.experiments import fig4_right
+from repro.sim import MINUTES
+
+
+def test_fig4_right_discovery_time(run_once, capsys):
+    points = run_once(
+        fig4_right.run,
+        r_values=(4, 8, 16),
+        queries=30,
+        seeds=(1,),
+        warmup=8 * MINUTES,
+        noisers=10,
+        fakes_per_noiser=50,
+    )
+    with capsys.disabled():
+        print()
+        print(fig4_right.render(points))
+
+    a = {p.r: p for p in points if p.configuration == "A"}
+    b = {p.r: p for p in points if p.configuration == "B"}
+
+    # all queries succeed on a static overlay
+    for p in points:
+        assert p.success == 1.0, (p.r, p.configuration)
+
+    # configuration A in the consistent-peerview regime: low tens of ms
+    for r, p in a.items():
+        assert p.mean_ms < 60.0, (r, p.mean_ms)
+
+    # noise costs time at the smallest r (noisers on every rendezvous)
+    smallest = min(a)
+    assert b[smallest].mean_ms > a[smallest].mean_ms

@@ -1,0 +1,50 @@
+"""Bench: raw harness throughput.
+
+Not a paper artefact — this measures the reproduction substrate itself,
+so regressions in the event loop or the protocol hot paths show up in
+benchmark history.  The paper-scale runs depend on it: the 580-peer,
+two-hour experiment executes ~2 M protocol events.
+"""
+
+from repro.config import PlatformConfig
+from repro.deploy import OverlayDescription, build_overlay
+from repro.network import Network
+from repro.sim import MINUTES, Simulator
+
+
+def test_event_loop_throughput(benchmark):
+    """Pure kernel: schedule/fire chains of dependent events."""
+
+    def run():
+        sim = Simulator(seed=1)
+        count = 100_000
+
+        def tick(remaining):
+            if remaining:
+                sim.schedule(0.001, tick, remaining - 1)
+
+        sim.schedule(0.0, tick, count)
+        sim.run()
+        return sim.events_fired
+
+    fired = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert fired == 100_001
+
+
+def test_protocol_stack_throughput(benchmark):
+    """Full stack: 40 rendezvous running the peerview protocol for 20
+    simulated minutes (probes, referrals, verification, expiry)."""
+
+    def run():
+        sim = Simulator(seed=1)
+        network = Network(sim)
+        overlay = build_overlay(
+            sim, network, PlatformConfig(),
+            OverlayDescription(rendezvous_count=40),
+        )
+        overlay.start()
+        sim.run(until=20 * MINUTES)
+        return sim.events_fired
+
+    fired = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert fired > 10_000

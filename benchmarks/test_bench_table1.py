@@ -1,0 +1,27 @@
+"""Bench: Table 1 — the LC-DHT worked example.
+
+Regenerates the paper's Table 1 (six rendezvous with IDs 006..180,
+hash 116, MAX_HASH 200 → replica rank 3 = peer 050) against the live
+protocol stack and asserts the exact published outcome.
+"""
+
+from repro.experiments import table1
+
+
+def test_table1_worked_example(run_once, capsys):
+    result = run_once(table1.run, seed=1)
+    with capsys.disabled():
+        print()
+        print(table1.render(result))
+    # Table 1: every local peerview sorts the six peers identically
+    expected_order = sorted(table1.PAPER_RDV_IDS)
+    for observer, view in result.peerviews.items():
+        assert view == expected_order, observer
+    # the ReplicaPeer function lands on rank 3 -> peer 050 (R4)
+    assert result.replica_rank == 3
+    assert result.replica_int_id == 50
+    # Figure 2 (left): the tuple lives on R1 (publisher's rdv) + R4
+    assert sorted(result.tuple_holders) == ["rdv-1", "rdv-4"]
+    # Figure 2 (right): E2 finds the advertisement
+    assert result.lookup_found
+    assert result.matches_paper

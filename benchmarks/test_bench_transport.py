@@ -1,0 +1,40 @@
+"""Bench: transport ablation — the Figure 1 "TCP, HTTP" choice.
+
+Asserts why the paper ran on TCP: an HTTP (relayed, polling) edge pays
+roughly half its poll interval on every inbound message, dwarfing the
+millisecond-scale discovery times of the TCP transport, and the
+penalty scales with the poll interval.
+"""
+
+from repro.experiments import transport_exp
+
+
+def test_transport_penalty(run_once, capsys):
+    points = run_once(
+        transport_exp.run,
+        poll_intervals=(0.5, 2.0),
+        r=8,
+        queries=20,
+        seed=1,
+    )
+    with capsys.disabled():
+        print()
+        print(transport_exp.render(points))
+
+    tcp = next(p for p in points if p.transport == "tcp")
+    http_fast = next(
+        p for p in points if p.transport == "http" and p.poll_interval == 0.5
+    )
+    http_slow = next(
+        p for p in points if p.transport == "http" and p.poll_interval == 2.0
+    )
+
+    # everything resolves on a static overlay
+    for p in points:
+        assert p.success == 1.0, p
+
+    # TCP is millisecond-scale; HTTP pays ~poll_interval/2 per inbound
+    assert tcp.mean_ms < 60.0
+    assert http_fast.mean_ms > tcp.mean_ms + 100.0   # ≳ 0.25 s/2 poll share
+    assert http_slow.mean_ms > http_fast.mean_ms     # penalty scales
+    assert http_slow.mean_ms > 500.0                 # ≳ 2 s / 2 − jitter

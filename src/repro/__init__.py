@@ -1,0 +1,49 @@
+"""Reproduction of *Performance scalability of the JXTA P2P framework*.
+
+A from-scratch implementation of the JXTA 2.x protocol stack over a
+deterministic discrete-event model of the Grid'5000 testbed, plus the
+experiment harness that regenerates every table and figure of Antoniu,
+Cudennec, Duigou & Jan (INRIA RR-6064 / IPDPS 2007).
+
+Typical entry points::
+
+    from repro import (
+        MINUTES, Network, OverlayDescription, PlatformConfig,
+        Simulator, build_overlay,
+    )
+
+    sim = Simulator(seed=42)
+    overlay = build_overlay(
+        sim, Network(sim), PlatformConfig(),
+        OverlayDescription(rendezvous_count=6, edge_count=2),
+    )
+    overlay.start()
+    sim.run(until=10 * MINUTES)
+
+See README.md for the tour, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.config import PlatformConfig
+from repro.deploy import OverlayDescription, build_overlay
+from repro.network import Network
+from repro.peergroup import EdgePeer, PeerGroup, RendezvousPeer
+from repro.sim import HOURS, MILLISECONDS, MINUTES, SECONDS, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EdgePeer",
+    "HOURS",
+    "MILLISECONDS",
+    "MINUTES",
+    "Network",
+    "OverlayDescription",
+    "PeerGroup",
+    "PlatformConfig",
+    "RendezvousPeer",
+    "SECONDS",
+    "Simulator",
+    "__version__",
+    "build_overlay",
+]

@@ -1,0 +1,175 @@
+"""Local advertisement cache (JXTA-C's "CM", content manager).
+
+Every peer stores the advertisements it has published or discovered.
+The cache implements the two-clock semantics of
+:mod:`repro.advertisement.base` (lifetime for own copies, expiration
+for remote copies), query-by-attribute with ``*`` wildcards, and an
+explicit :meth:`flush` because the paper's discovery benchmark flushes
+the searcher's cache between queries ("each of them followed by a
+flush of the local searcher cache, in order to avoid cache speedup",
+§4.2).
+
+The cache is clock-free: callers pass the current simulated time, so
+the same object works in any simulation or in real time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Dict, Iterable, List, Optional
+
+from repro.advertisement.base import (
+    Advertisement,
+    DEFAULT_EXPIRATION,
+    DEFAULT_LIFETIME,
+)
+
+
+@dataclass
+class CacheEntry:
+    """One cached advertisement plus its bookkeeping."""
+
+    adv: Advertisement
+    #: Absolute simulated time at which this copy disappears.
+    expires_at: float
+    #: True if this peer is the publisher (stored with *lifetime*).
+    local: bool
+    #: Residual expiration to hand to peers we forward the adv to.
+    expiration: float
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+
+class AdvertisementCache:
+    """Keyed store of advertisements with expiry and wildcard search."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, CacheEntry] = {}
+        self.inserts = 0
+        self.purged = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, adv: Advertisement) -> bool:
+        return adv.unique_key() in self._entries
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        adv: Advertisement,
+        now: float,
+        lifetime: float = DEFAULT_LIFETIME,
+        expiration: float = DEFAULT_EXPIRATION,
+    ) -> CacheEntry:
+        """Store a *locally published* advertisement."""
+        if lifetime <= 0:
+            raise ValueError(f"lifetime must be > 0 (got {lifetime})")
+        entry = CacheEntry(
+            adv=adv,
+            expires_at=now + lifetime,
+            local=True,
+            expiration=expiration,
+        )
+        self._entries[adv.unique_key()] = entry
+        self.inserts += 1
+        return entry
+
+    def store_remote(
+        self,
+        adv: Advertisement,
+        now: float,
+        expiration: float = DEFAULT_EXPIRATION,
+    ) -> CacheEntry:
+        """Store a copy obtained from another peer.  A remote copy never
+        overwrites a local (published) one."""
+        if expiration <= 0:
+            raise ValueError(f"expiration must be > 0 (got {expiration})")
+        key = adv.unique_key()
+        existing = self._entries.get(key)
+        if existing is not None and existing.local and not existing.expired(now):
+            return existing
+        entry = CacheEntry(
+            adv=adv,
+            expires_at=now + expiration,
+            local=False,
+            expiration=expiration,
+        )
+        self._entries[key] = entry
+        self.inserts += 1
+        return entry
+
+    def remove(self, adv: Advertisement) -> bool:
+        """Remove an advertisement.  Returns True if it was present."""
+        return self._entries.pop(adv.unique_key(), None) is not None
+
+    def purge_expired(self, now: float) -> int:
+        """Drop expired entries; returns how many were dropped."""
+        dead = [k for k, e in self._entries.items() if e.expired(now)]
+        for k in dead:
+            del self._entries[k]
+        self.purged += len(dead)
+        return len(dead)
+
+    def flush(self) -> int:
+        """Drop everything (the benchmark's anti-cache-speedup step)."""
+        n = len(self._entries)
+        self._entries.clear()
+        return n
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def entries(self, now: Optional[float] = None) -> Iterable[CacheEntry]:
+        """All live entries (all entries if ``now`` is None)."""
+        for entry in self._entries.values():
+            if now is None or not entry.expired(now):
+                yield entry
+
+    def get(self, adv: Advertisement, now: float) -> Optional[CacheEntry]:
+        """Look up the live entry for this advertisement's key."""
+        entry = self._entries.get(adv.unique_key())
+        if entry is None or entry.expired(now):
+            return None
+        return entry
+
+    def search(
+        self,
+        adv_type: Optional[str],
+        attribute: Optional[str],
+        value: Optional[str],
+        now: float,
+        limit: Optional[int] = None,
+    ) -> List[Advertisement]:
+        """Find live advertisements matching a discovery query.
+
+        ``adv_type`` of None matches all types.  ``attribute``/``value``
+        of None match everything of the type; otherwise the named index
+        attribute must glob-match ``value`` (``*``/``?`` wildcards, as
+        in the JXTA discovery API).
+        """
+        out: List[Advertisement] = []
+        for entry in self._entries.values():
+            if entry.expired(now):
+                continue
+            adv = entry.adv
+            if adv_type is not None and adv.ADV_TYPE != adv_type:
+                continue
+            if attribute is not None:
+                matched = False
+                for t, attr, val in adv.index_tuples():
+                    if attr == attribute and (
+                        value is None or fnmatchcase(val, value)
+                    ):
+                        matched = True
+                        break
+                if not matched:
+                    continue
+            out.append(adv)
+            if limit is not None and len(out) >= limit:
+                break
+        return out

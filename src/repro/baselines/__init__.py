@@ -1,0 +1,23 @@
+"""Baseline comparators from the paper's related work.
+
+The paper positions the LC-DHT against two families:
+
+* **classical DHTs** (Pastry/Chord-style, §2 and the complexity
+  paragraph of §3.3): O(log n) lookup *and* O(log n) publication plus
+  continuous maintenance traffic — :mod:`repro.baselines.chord` is a
+  complete Chord implementation over the same simulated network;
+* **JXTA 1.0 strategies** (the related-work comparison [13]):
+  flooding and a centralized index — built from the same stack via
+  :func:`build_flooding_overlay` and :func:`build_centralized_overlay`.
+"""
+
+from repro.baselines.chord import ChordNode, ChordRing
+from repro.baselines.centralized import build_centralized_overlay
+from repro.baselines.flooding import build_flooding_overlay
+
+__all__ = [
+    "ChordNode",
+    "ChordRing",
+    "build_centralized_overlay",
+    "build_flooding_overlay",
+]

@@ -1,0 +1,37 @@
+"""Centralized-index discovery.
+
+The second JXTA 1.0-era strategy of [13]: one well-known rendezvous
+holds the entire index.  Expressed through the LC-DHT machinery with a
+constant replica function — every tuple hashes to rank 0, i.e. the
+lowest-ID rendezvous becomes the index server.  Publication and lookup
+are both O(1), but the index server's SRDI store grows with the whole
+system (and with it the per-query matching cost), which is exactly the
+bottleneck the LC-DHT's load balancing removes (visible in the
+baseline bench at scale).
+"""
+
+from __future__ import annotations
+
+from repro.config import PlatformConfig
+from repro.deploy.builder import DeployedOverlay, build_overlay
+from repro.deploy.description import OverlayDescription
+from repro.discovery.replica import ReplicaFunction
+from repro.network.transport import Network
+from repro.sim.kernel import Simulator
+
+
+def centralized_replica_fn() -> ReplicaFunction:
+    """Replica function that maps every tuple to peerview rank 0."""
+    return ReplicaFunction(max_hash=1, hash_fn=lambda key: 0)
+
+
+def build_centralized_overlay(
+    sim: Simulator,
+    network: Network,
+    config: PlatformConfig,
+    description: OverlayDescription,
+) -> DeployedOverlay:
+    """Deploy an overlay whose index lives on the lowest-ID rendezvous."""
+    return build_overlay(
+        sim, network, config, description, replica_fn=centralized_replica_fn()
+    )

@@ -1,0 +1,31 @@
+"""JXTA 1.0-style flooding discovery.
+
+"In [13] authors compare the LC-DHT approach to a centralized or
+flooding approach (which was the strategy used by JXTA 1.0)" (§2).
+Under flooding there is no tuple replication: each rendezvous indexes
+only its own edges, and a query that misses at the first rendezvous is
+propagated to every rendezvous in the group.  Publication is cheap
+(1 message) but every miss costs O(r) query messages *per lookup*.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import PlatformConfig
+from repro.deploy.builder import DeployedOverlay, build_overlay
+from repro.deploy.description import OverlayDescription
+from repro.network.transport import Network
+from repro.sim.kernel import Simulator
+
+
+def build_flooding_overlay(
+    sim: Simulator,
+    network: Network,
+    config: PlatformConfig,
+    description: OverlayDescription,
+) -> DeployedOverlay:
+    """Deploy an overlay whose discovery runs in flooding mode."""
+    return build_overlay(
+        sim, network, config, description, discovery_mode="flood"
+    )

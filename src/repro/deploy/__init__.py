@@ -1,0 +1,28 @@
+"""Deployment: the ADAGE-equivalent overlay builder.
+
+"For the deployment of JXTA overlays, we used the generic deployment
+tool ADAGE [...] so that overlays can be described in a concise
+manner, and generation of configuration files for JXTA automated"
+(§4).  Here an :class:`OverlayDescription` plays the role of the ADAGE
+application description, :mod:`repro.deploy.topologies` generates the
+chain/tree bootstrap graphs the paper tests, and
+:func:`build_overlay` instantiates the configured peers onto the
+simulated grid.
+"""
+
+from repro.deploy.builder import DeployedOverlay, build_overlay
+from repro.deploy.description import OverlayDescription
+from repro.deploy.topologies import (
+    chain_topology,
+    star_topology,
+    tree_topology,
+)
+
+__all__ = [
+    "DeployedOverlay",
+    "OverlayDescription",
+    "build_overlay",
+    "chain_topology",
+    "star_topology",
+    "tree_topology",
+]

@@ -1,0 +1,44 @@
+"""The discovery protocol and the Loosely-Consistent DHT (§3.3).
+
+Publishing: an edge peer's attribute tables (index tuples of its
+advertisements) are pushed via SRDI to its rendezvous, which stores a
+copy and replicates each tuple to the *replica peer* computed by::
+
+    hash = SHA-1(advertisement type + attribute + value)
+    pos  = floor(hash * l / MAX_HASH)      # rank in the local peerview
+
+Lookup: a query travels edge → rendezvous → replica peer → publishing
+edge → (response to) requesting edge — O(1), 4 messages, when local
+peerviews satisfy Property (2).  When they do not, the replica peer
+computed at lookup differs from the one computed at publication and
+the query *walks* the peerview in both directions — O(r).
+
+Modules:
+
+* :mod:`repro.discovery.replica` — the ReplicaPeer function;
+* :mod:`repro.discovery.srdi` — attribute tables, the rendezvous-side
+  SRDI store, the edge-side periodic pusher;
+* :mod:`repro.discovery.walker` — the bidirectional walk fall-back;
+* :mod:`repro.discovery.service` — the discovery service proper.
+"""
+
+from repro.discovery.replica import ReplicaFunction, index_tuple_key
+from repro.discovery.service import (
+    DISCOVERY_HANDLER_NAME,
+    DiscoveryQueryPayload,
+    DiscoveryResponsePayload,
+    DiscoveryService,
+)
+from repro.discovery.srdi import SrdiIndex, SrdiPayload, SrdiPusher
+
+__all__ = [
+    "DISCOVERY_HANDLER_NAME",
+    "DiscoveryQueryPayload",
+    "DiscoveryResponsePayload",
+    "DiscoveryService",
+    "ReplicaFunction",
+    "SrdiIndex",
+    "SrdiPayload",
+    "SrdiPusher",
+    "index_tuple_key",
+]

@@ -1,0 +1,69 @@
+"""Complex (range) queries — the paper's second future-work item.
+
+"Further experiments should also evaluate the mechanisms used by
+JXTA-C to address complex queries, such as range queries" (§5).
+
+A range query asks for advertisements whose indexed attribute value,
+interpreted numerically, falls inside ``[lo, hi]``.  Hash-based
+replica routing is useless for ranges (SHA-1 destroys order), so the
+resolution strategy is the one JXTA-C would have to fall back on: the
+query *walks* the peerview from the issuing rendezvous in both
+directions, each rendezvous contributing the matching publishers from
+its SRDI store, until the searcher's threshold is met or the walk
+exhausts the view.  The cost is therefore O(r) by construction — the
+experiments quantify the constant.
+
+Numeric interpretation: the attribute value's longest numeric suffix
+or the whole value (e.g. ``size=1024`` publishes value ``"1024"``).
+Non-numeric values never match a range.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.advertisement.base import IndexTuple
+
+
+def numeric_value(text: str) -> Optional[float]:
+    """Interpret an index value numerically, or None."""
+    try:
+        return float(text)
+    except (TypeError, ValueError):
+        return None
+
+
+def range_spec(lo: float, hi: float) -> str:
+    """Encode a range as the query's value field (``"lo..hi"``)."""
+    if lo > hi:
+        raise ValueError(f"empty range: [{lo}, {hi}]")
+    return f"{lo!r}..{hi!r}"
+
+
+def parse_range_spec(value: str) -> Optional[tuple]:
+    """Decode a ``"lo..hi"`` range spec, or None if not a range."""
+    if ".." not in value:
+        return None
+    left, _, right = value.partition("..")
+    try:
+        lo, hi = float(left), float(right)
+    except ValueError:
+        return None
+    if lo > hi:
+        return None
+    return (lo, hi)
+
+
+def is_range_query(value: str) -> bool:
+    return parse_range_spec(value) is not None
+
+
+def tuple_in_range(
+    index_tuple: IndexTuple, adv_type: str, attribute: str, lo: float, hi: float
+) -> bool:
+    """Does an SRDI tuple match a range query?"""
+    t_type, t_attr, t_value = index_tuple
+    if t_type != adv_type or t_attr != attribute:
+        return False
+    number = numeric_value(t_value)
+    return number is not None and lo <= number <= hi

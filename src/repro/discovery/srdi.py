@@ -1,0 +1,204 @@
+"""SRDI: the Shared Resource Distributed Index.
+
+"Peers maintain and publish attribute tables for their advertisements.
+An attribute table consists of tuples (index attribute, value), each
+of which is associated to a life duration and to the identity of the
+publishing peer.  These attribute tables are published by the edge
+peers to their associated rendezvous peers" (§3.3).
+
+Two halves:
+
+* :class:`SrdiIndex` — the rendezvous-side store mapping index tuples
+  to publishers, with per-entry expiry;
+* :class:`SrdiPusher` — the edge-side process that pushes new/changed
+  tuples to the current rendezvous every ``srdi_push_interval``
+  (default 30 s) and re-publishes everything "whenever they connect to
+  a new rendezvous peer".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.advertisement.base import IndexTuple
+from repro.advertisement.cache import AdvertisementCache
+from repro.config import PlatformConfig
+from repro.ids.jxtaid import PeerID
+from repro.sim.kernel import Simulator
+from repro.sim.process import PeriodicTask, Process
+
+
+@dataclass
+class SrdiPayload:
+    """One SRDI push: tuples published by one peer."""
+
+    #: (index tuple, remaining expiration in seconds)
+    entries: List[Tuple[IndexTuple, float]]
+    #: transport address of the publisher (so replica peers can route
+    #: queries back even before ERP learns the route)
+    publisher_address: str
+    #: identity of the *original* publisher.  Replica copies travel
+    #: rendezvous→rendezvous, so the resolver-level sender is NOT the
+    #: publisher; queries must be forwarded to this peer, never to the
+    #: forwarding rendezvous.
+    publisher_peer: Optional["PeerID"] = None
+    #: True when this payload is a rendezvous-to-replica copy; replica
+    #: peers store it without replicating again.
+    replicated: bool = False
+
+    def size_bytes(self) -> int:
+        return 120 + sum(
+            len(t) + len(a) + len(v) + 24 for (t, a, v), _ in self.entries
+        )
+
+
+@dataclass
+class _SrdiRecord:
+    publisher: PeerID
+    publisher_address: str
+    expires_at: float
+
+
+class SrdiIndex:
+    """Rendezvous-side tuple store: index tuple -> publishers."""
+
+    def __init__(self) -> None:
+        self._index: Dict[IndexTuple, Dict[PeerID, _SrdiRecord]] = {}
+        self._count = 0
+        self.inserts = 0
+
+    def __len__(self) -> int:
+        """Total number of (tuple, publisher) records currently stored
+        (including not-yet-purged expired ones); this is the size that
+        drives per-query matching cost."""
+        return self._count
+
+    def add(
+        self,
+        index_tuple: IndexTuple,
+        publisher: PeerID,
+        publisher_address: str,
+        now: float,
+        expiration: float,
+    ) -> None:
+        """Insert/refresh one record."""
+        if expiration <= 0:
+            raise ValueError(f"expiration must be > 0 (got {expiration})")
+        bucket = self._index.setdefault(index_tuple, {})
+        if publisher not in bucket:
+            self._count += 1
+        bucket[publisher] = _SrdiRecord(
+            publisher=publisher,
+            publisher_address=publisher_address,
+            expires_at=now + expiration,
+        )
+        self.inserts += 1
+
+    def lookup(
+        self, index_tuple: IndexTuple, now: float
+    ) -> List[_SrdiRecord]:
+        """Publishers of an exact index tuple (live records only)."""
+        bucket = self._index.get(index_tuple)
+        if not bucket:
+            return []
+        return [r for r in bucket.values() if r.expires_at > now]
+
+    def remove_publisher(self, publisher: PeerID) -> int:
+        """Drop every record from one publisher (edge departed)."""
+        dropped = 0
+        for bucket in self._index.values():
+            if bucket.pop(publisher, None) is not None:
+                dropped += 1
+        self._count -= dropped
+        return dropped
+
+    def purge_expired(self, now: float) -> int:
+        """Drop expired records; returns the count dropped."""
+        dropped = 0
+        for index_tuple in list(self._index):
+            bucket = self._index[index_tuple]
+            dead = [p for p, r in bucket.items() if r.expires_at <= now]
+            for p in dead:
+                del bucket[p]
+            dropped += len(dead)
+            if not bucket:
+                del self._index[index_tuple]
+        self._count -= dropped
+        return dropped
+
+    def tuples(self) -> List[IndexTuple]:
+        """All distinct index tuples currently present."""
+        return list(self._index.keys())
+
+    def clear(self) -> None:
+        """Drop the whole store (rendezvous crash: SRDI is in-memory)."""
+        self._index.clear()
+        self._count = 0
+
+
+class SrdiPusher(Process):
+    """Edge-side periodic SRDI delta pusher.
+
+    "JXTA edge peers periodically push tuples of updated or new
+    indexes to their rendezvous peers (by default every 30 seconds).
+    However, this is only done if advertisements have changed or have
+    been explicitly republished [...]  edge peers also publish their
+    tuples whenever they connect to a new rendezvous peer" (§3.3).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cache: AdvertisementCache,
+        config: PlatformConfig,
+        send: Callable[[SrdiPayload], None],
+        name: str = "srdi-pusher",
+    ) -> None:
+        super().__init__(sim, name)
+        self.cache = cache
+        self.config = config
+        self._send = send
+        #: tuples already pushed to the *current* rendezvous
+        self._pushed: Set[IndexTuple] = set()
+        self.pushes = 0
+        self._task = PeriodicTask(
+            sim,
+            config.srdi_push_interval,
+            self._tick,
+            name=name,
+            start_jitter=min(config.srdi_push_interval, config.startup_jitter),
+        )
+
+    def on_start(self) -> None:
+        self._task.start()
+
+    def on_stop(self) -> None:
+        self._task.stop()
+
+    # ------------------------------------------------------------------
+    def rendezvous_changed(self) -> None:
+        """New rendezvous: forget push history and re-publish at once."""
+        self._pushed.clear()
+        self.push_now()
+
+    def push_now(self) -> None:
+        """Push all not-yet-pushed tuples of locally published
+        advertisements immediately."""
+        self._tick()
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        delta: List[Tuple[IndexTuple, float]] = []
+        for entry in self.cache.entries(now=now):
+            if not entry.local:
+                continue
+            for index_tuple in entry.adv.index_tuples():
+                if index_tuple not in self._pushed:
+                    self._pushed.add(index_tuple)
+                    delta.append((index_tuple, entry.expiration))
+        if delta:
+            self.pushes += 1
+            self._send(
+                SrdiPayload(entries=delta, publisher_address="")
+            )

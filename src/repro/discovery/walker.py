@@ -1,0 +1,44 @@
+"""The bidirectional peerview walk.
+
+"Upon failing to find a resource on a replica peer, a backup mechanism
+is used: the query will be forwarded to the upper and lower rendezvous
+peers, which may store the resource.  The query is said to walk the
+whole peerview in both directions" (§3.3).  This walk is what turns
+the O(1) lookup into the O(r) worst case the paper measures for large
+overlays.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ids.jxtaid import PeerID
+from repro.rendezvous.peerview import PeerView
+
+#: Walk direction constants carried in discovery query payloads.
+WALK_NONE = 0
+WALK_UP = 1
+WALK_DOWN = -1
+
+
+def walk_start_targets(view: PeerView) -> List[tuple]:
+    """Initial walk legs from a failed replica peer: ``(peer, direction)``
+    for the upper and lower rendezvous, when present."""
+    out = []
+    upper = view.upper_neighbor()
+    if upper is not None:
+        out.append((upper, WALK_UP))
+    lower = view.lower_neighbor()
+    if lower is not None:
+        out.append((lower, WALK_DOWN))
+    return out
+
+
+def walk_next_target(view: PeerView, direction: int) -> Optional[PeerID]:
+    """Next rendezvous for a walk leg passing through this peer, or
+    None when this peer is the end of its local sorted list."""
+    if direction == WALK_UP:
+        return view.upper_neighbor()
+    if direction == WALK_DOWN:
+        return view.lower_neighbor()
+    raise ValueError(f"not a walk direction: {direction}")

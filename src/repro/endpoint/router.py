@@ -1,0 +1,143 @@
+"""Endpoint Routing Protocol (ERP).
+
+"Above the physical transport protocols, the endpoint routing protocol
+(ERP) is used to find available routes from a source peer to a
+destination peer" (§3.1).  The router keeps a table
+
+    destination peer ID  ->  ordered hop list of transport addresses
+
+Routes come from three places, mirroring JXTA-C:
+
+* **configuration** — seed rendezvous addresses;
+* **advertisements** — rendezvous advertisements carry a route hint,
+  route advertisements carry full hop lists;
+* **reverse-route learning** — receiving a message teaches the route
+  back to its origin (JXTA-C reuses the incoming TCP connection).
+
+Edge peers additionally set a *default route* (their rendezvous), so a
+message for an unknown peer is handed to the rendezvous, which knows
+its own leased edges — this is how Figure 2's step 3→4 (replica peer
+forwards the query to the publisher edge) is carried.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.advertisement.routeadv import RouteAdvertisement
+from repro.ids.jxtaid import PeerID
+from repro.network.message import Envelope
+
+
+class RoutingError(Exception):
+    """No route to the destination peer."""
+
+
+class EndpointRouter:
+    """ERP route table and forwarding engine for one peer."""
+
+    def __init__(self, endpoint: "EndpointService") -> None:  # noqa: F821
+        self.endpoint = endpoint
+        endpoint.router = self
+        self._routes: Dict[PeerID, List[str]] = {}
+        self._default_route: Optional[str] = None
+        self.forwards = 0
+        self.no_route_drops = 0
+
+    # ------------------------------------------------------------------
+    # table maintenance
+    # ------------------------------------------------------------------
+    def add_route(self, peer_id: PeerID, hops: List[str]) -> None:
+        """Install/replace the route to ``peer_id``."""
+        if not hops:
+            raise ValueError("route needs at least one hop")
+        self._routes[peer_id] = list(hops)
+
+    def add_route_advertisement(self, adv: RouteAdvertisement) -> None:
+        self.add_route(adv.dst_peer_id, adv.hops)
+
+    def learn_reverse_route(self, peer_id: PeerID, origin_address: str) -> None:
+        """Learn a direct route back to a message origin.  Never
+        overwrites an explicitly installed multi-hop route."""
+        if peer_id == self.endpoint.peer_id:
+            return
+        existing = self._routes.get(peer_id)
+        if existing is None or len(existing) == 1:
+            self._routes[peer_id] = [origin_address]
+
+    def remove_route(self, peer_id: PeerID) -> None:
+        self._routes.pop(peer_id, None)
+
+    def set_default_route(self, transport_address: Optional[str]) -> None:
+        """Route of last resort (an edge peer's rendezvous)."""
+        self._default_route = transport_address
+
+    def has_route(self, peer_id: PeerID) -> bool:
+        return peer_id in self._routes
+
+    def resolve(self, peer_id: PeerID) -> Optional[List[str]]:
+        """The hop list for ``peer_id``, or None if unroutable."""
+        hops = self._routes.get(peer_id)
+        if hops is not None:
+            return list(hops)
+        if self._default_route is not None:
+            return [self._default_route]
+        return None
+
+    def route_table_size(self) -> int:
+        return len(self._routes)
+
+    # ------------------------------------------------------------------
+    # forwarding
+    # ------------------------------------------------------------------
+    def route_and_send(
+        self,
+        message: "EndpointMessage",  # noqa: F821
+        on_drop: Optional[Callable[[Envelope], None]] = None,
+    ) -> None:
+        """Send ``message`` one hop toward its destination peer.
+
+        Messages with exhausted TTL or no resolvable route are dropped
+        (with ``on_drop`` notification when provided), like JXTA's
+        best-effort propagation.
+        """
+        if message.dst_peer == self.endpoint.peer_id:
+            # routing to self: deliver locally without a network hop
+            self.endpoint._on_envelope(
+                Envelope(
+                    src=self.endpoint.transport_address,
+                    dst=self.endpoint.transport_address,
+                    payload=message,
+                    size_bytes=message.size_bytes(),
+                    sent_at=self.endpoint.sim.now,
+                )
+            )
+            return
+        # messages for an HTTP relay client wait in the relay queue
+        # instead of being pushed (the client cannot accept inbound
+        # connections; it will poll)
+        if (
+            self.endpoint.relay_interceptor is not None
+            and message.dst_peer is not None
+            and self.endpoint.relay_interceptor(message)
+        ):
+            return
+        if message.ttl <= 0:
+            self.no_route_drops += 1
+            return
+        hops = self.resolve(message.dst_peer)
+        if hops is None:
+            self.no_route_drops += 1
+            if on_drop is not None:
+                on_drop(
+                    Envelope(
+                        src=self.endpoint.transport_address,
+                        dst="<no-route>",
+                        payload=message,
+                        size_bytes=message.size_bytes(),
+                        sent_at=self.endpoint.sim.now,
+                    )
+                )
+            return
+        self.forwards += 1
+        self.endpoint.send_direct(hops[0], message, on_drop=on_drop)

@@ -1,0 +1,22 @@
+"""Experiment harness: one module per paper table/figure.
+
+========  ====================================================
+module    paper artefact
+========  ====================================================
+table1    Table 1 + Figure 2 worked example (publish/lookup)
+fig3_left Figure 3 (left): peerview size l(t) vs r
+fig3_right Figure 3 (right): add/remove event scatter, r = 580
+fig4_left Figure 4 (left): l(t) for r = 50, PVE_EXPIRATION sweep
+fig4_right Figure 4 (right): discovery time vs r, configs A & B
+baselines_exp complexity comparison vs Chord / flooding / central
+ablation  §4.1 freshness-vs-bandwidth parameter sweep
+churn_exp §5 future work: discovery under volatility
+complex_queries §5 future work: wildcard and range lookups
+transport_exp Figure 1's transports: TCP vs HTTP relay
+calibration_exp DESIGN §5b constants, ablated
+========  ====================================================
+
+Each module exposes ``run(...)`` returning structured results and a
+``main()`` that prints the paper-style series; the CLI front-end is
+``python -m repro.experiments.cli`` (installed as ``jxta-repro``).
+"""

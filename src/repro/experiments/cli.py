@@ -1,0 +1,87 @@
+"""Command-line front end: ``jxta-repro <experiment> [--full] [--seed N]``.
+
+``--full`` runs the paper-scale configuration (580 rendezvous peers,
+two-hour timelines, the 0–200 discovery sweep); without it a reduced
+but shape-preserving configuration runs in seconds to minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    ablation,
+    baselines_exp,
+    calibration_exp,
+    churn_exp,
+    complex_queries,
+    fig3_left,
+    fig3_right,
+    fig4_left,
+    fig4_right,
+    table1,
+    transport_exp,
+)
+
+EXPERIMENTS = {
+    "table1": table1.main,
+    "fig3-left": fig3_left.main,
+    "fig3-right": fig3_right.main,
+    "fig4-left": fig4_left.main,
+    "fig4-right": fig4_right.main,
+    "baselines": baselines_exp.main,
+    "ablation": ablation.main,
+    "churn": churn_exp.main,
+    "complex-queries": complex_queries.main,
+    "transport": transport_exp.main,
+    "calibration": calibration_exp.main,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="jxta-repro",
+        description=(
+            "Reproduce the tables and figures of 'Performance "
+            "scalability of the JXTA P2P framework' (Antoniu et al., "
+            "IPDPS 2007)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale run (580 peers / 120 min / full sweeps)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="master RNG seed")
+    parser.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="also write raw result data (CSV/JSON) under DIR",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        if args.experiment == "all":
+            print(f"\n{'=' * 70}\n{name}\n{'=' * 70}")
+        results = EXPERIMENTS[name](full=args.full, seed=args.seed)
+        if args.out is not None:
+            from pathlib import Path
+
+            from repro.experiments.export import save_results
+
+            for path in save_results(name, results, Path(args.out)):
+                print(f"# wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

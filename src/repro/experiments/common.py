@@ -1,0 +1,146 @@
+"""Shared experiment machinery."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.config import PlatformConfig
+from repro.deploy import OverlayDescription, build_overlay
+from repro.deploy.builder import DeployedOverlay
+from repro.metrics import EventLog, attach_peerview_logger
+from repro.network import Network
+from repro.sim import MINUTES, Simulator
+
+
+@dataclass
+class PeerviewRun:
+    """Everything a peerview experiment produces."""
+
+    r: int
+    topology: str
+    duration: float
+    pve_expiration: float
+    log: EventLog
+    overlay: DeployedOverlay
+    sim: Simulator
+
+    def observer_names(self) -> List[str]:
+        return [rdv.name for rdv in self.overlay.rendezvous]
+
+
+def run_peerview_overlay(
+    r: int,
+    topology: str = "chain",
+    duration: float = 60 * MINUTES,
+    seed: int = 1,
+    config: Optional[PlatformConfig] = None,
+    observers: Optional[Sequence[int]] = None,
+    progress: Optional[Callable[[float], None]] = None,
+) -> PeerviewRun:
+    """Deploy ``r`` rendezvous peers, log peerview events on the chosen
+    observers (all by default), run for ``duration`` simulated seconds.
+
+    This is the §4.1 benchmark: "Each time a rdv peer is added
+    to/removed from the local peerview of a rendezvous peer, the
+    elapsed time since the beginning of the test is logged, as well as
+    the type of event."
+    """
+    sim = Simulator(seed=seed)
+    network = Network(sim)
+    cfg = config if config is not None else PlatformConfig()
+    overlay = build_overlay(
+        sim, network, cfg,
+        OverlayDescription(rendezvous_count=r, topology=topology),
+    )
+    log = EventLog()
+    observer_set = (
+        set(observers) if observers is not None else range(len(overlay.rendezvous))
+    )
+    for i in observer_set:
+        rdv = overlay.rendezvous[i]
+        attach_peerview_logger(log, rdv.name, rdv.view)
+    overlay.start()
+    if progress is None:
+        sim.run(until=duration)
+    else:
+        slice_len = 5 * MINUTES
+        t = 0.0
+        while t < duration:
+            t = min(t + slice_len, duration)
+            sim.run(until=t)
+            progress(t)
+    return PeerviewRun(
+        r=r,
+        topology=topology,
+        duration=duration,
+        pve_expiration=cfg.pve_expiration,
+        log=log,
+        overlay=overlay,
+        sim=sim,
+    )
+
+
+@dataclass
+class DiscoverySample:
+    """One measured discovery query."""
+
+    latency: float
+    found: bool
+
+
+def run_query_sequence(
+    sim: Simulator,
+    searcher,
+    adv_type: str,
+    attribute: str,
+    value: str,
+    count: int,
+    flush_between: bool = True,
+    per_query_timeout: float = 30.0,
+) -> List[DiscoverySample]:
+    """Issue ``count`` *consecutive* queries from ``searcher``, flushing
+    its local cache between queries "in order to avoid cache speedup"
+    (§4.2).  Each query starts when the previous one finishes."""
+    samples: List[DiscoverySample] = []
+
+    def issue() -> None:
+        if flush_between:
+            searcher.cache.flush()
+
+        def on_result(advs, latency):
+            samples.append(DiscoverySample(latency=latency, found=True))
+            if len(samples) < count:
+                issue()
+
+        def on_timeout():
+            samples.append(DiscoverySample(latency=per_query_timeout, found=False))
+            if len(samples) < count:
+                issue()
+
+        searcher.discovery.get_remote_advertisements(
+            adv_type, attribute, value,
+            callback=on_result,
+            on_timeout=on_timeout,
+            timeout=per_query_timeout,
+        )
+
+    issue()
+    # generous horizon: every query resolves or times out within
+    # per_query_timeout, sequentially
+    sim.run(until=sim.now + count * (per_query_timeout + 1.0))
+    return samples
+
+
+def mean_latency_ms(samples: Sequence[DiscoverySample]) -> float:
+    """Mean latency over successful queries, in milliseconds."""
+    ok = [s.latency for s in samples if s.found]
+    if not ok:
+        raise RuntimeError("no query succeeded")
+    return 1000.0 * sum(ok) / len(ok)
+
+
+def success_rate(samples: Sequence[DiscoverySample]) -> float:
+    if not samples:
+        raise RuntimeError("no samples")
+    return sum(1 for s in samples if s.found) / len(samples)

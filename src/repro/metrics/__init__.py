@@ -1,0 +1,31 @@
+"""Instrumentation: event logs, time series, report rendering.
+
+The paper's figures are built from logged protocol events ("Each time
+a rdv peer is added to/removed from the local peerview of a
+rendezvous peer, the elapsed time since the beginning of the test is
+logged, as well as the type of event", §4.1) and from discovery
+latency samples.  This subpackage provides the structured event log,
+time-series extraction and plain-text table/series renderers used by
+``repro.experiments``.
+"""
+
+from repro.metrics.events import EventLog, EventRecord, attach_peerview_logger
+from repro.metrics.series import (
+    StepSeries,
+    latency_stats,
+    peerview_size_series,
+    sample_at,
+)
+from repro.metrics.report import render_series, render_table
+
+__all__ = [
+    "EventLog",
+    "EventRecord",
+    "StepSeries",
+    "attach_peerview_logger",
+    "latency_stats",
+    "peerview_size_series",
+    "render_series",
+    "render_table",
+    "sample_at",
+]

@@ -1,0 +1,80 @@
+"""Structured event logging."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.ids.jxtaid import PeerID
+from repro.rendezvous.peerview import PeerViewEvent
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One logged event."""
+
+    time: float
+    observer: str
+    kind: str
+    subject: str = ""
+    value: float = 0.0
+
+
+class EventLog:
+    """Append-only log with simple filtering."""
+
+    def __init__(self) -> None:
+        self._records: List[EventRecord] = []
+
+    def record(
+        self,
+        time: float,
+        observer: str,
+        kind: str,
+        subject: str = "",
+        value: float = 0.0,
+    ) -> None:
+        self._records.append(EventRecord(time, observer, kind, subject, value))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(
+        self,
+        kind: Optional[str] = None,
+        observer: Optional[str] = None,
+    ) -> List[EventRecord]:
+        """Records matching the given filters, in log order."""
+        out = self._records
+        if kind is not None:
+            out = [r for r in out if r.kind == kind]
+        if observer is not None:
+            out = [r for r in out if r.observer == observer]
+        return list(out)
+
+    def kinds(self) -> Dict[str, int]:
+        """Histogram of event kinds."""
+        out: Dict[str, int] = {}
+        for r in self._records:
+            out[r.kind] = out.get(r.kind, 0) + 1
+        return out
+
+
+def attach_peerview_logger(
+    log: EventLog, observer_name: str, view
+) -> Callable[[PeerViewEvent], None]:
+    """Subscribe ``view`` (a :class:`~repro.rendezvous.peerview.PeerView`)
+    to ``log``: every add/remove lands as an :class:`EventRecord` with
+    kind ``peerview.add`` / ``peerview.remove`` and the subject peer's
+    short ID — the raw material of Figure 3."""
+
+    def listener(event: PeerViewEvent) -> None:
+        log.record(
+            time=event.time,
+            observer=observer_name,
+            kind=f"peerview.{event.kind}",
+            subject=event.subject.short(),
+        )
+
+    view.add_listener(listener)
+    return listener

@@ -1,0 +1,78 @@
+"""Export experiment data for external tooling (gnuplot, pandas, ...).
+
+The paper's figures were plotted from flat event logs; these helpers
+write the same artefacts: CSV/JSON event logs and sampled series, and
+read them back (round-trip tested), so downstream users can regenerate
+plots without re-running simulations.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.metrics.events import EventLog, EventRecord
+from repro.metrics.series import StepSeries
+
+PathLike = Union[str, Path]
+
+
+def event_log_to_csv(log: EventLog, path: PathLike) -> int:
+    """Write an event log as CSV (time, observer, kind, subject, value).
+    Returns the number of rows written."""
+    records = log.records()
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time", "observer", "kind", "subject", "value"])
+        for r in records:
+            writer.writerow([r.time, r.observer, r.kind, r.subject, r.value])
+    return len(records)
+
+
+def event_log_from_csv(path: PathLike) -> EventLog:
+    """Read an event log written by :func:`event_log_to_csv`."""
+    log = EventLog()
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        for row in reader:
+            log.record(
+                time=float(row["time"]),
+                observer=row["observer"],
+                kind=row["kind"],
+                subject=row["subject"],
+                value=float(row["value"]),
+            )
+    return log
+
+
+def series_to_csv(
+    x_label: str,
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    path: PathLike,
+) -> int:
+    """Write aligned series columns as CSV (one x column, one column
+    per series).  Returns the number of data rows."""
+    names = list(series.keys())
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([x_label] + names)
+        for i, x in enumerate(xs):
+            writer.writerow(
+                [x] + [series[name][i] if i < len(series[name]) else "" for name in names]
+            )
+    return len(xs)
+
+
+def step_series_to_json(series: StepSeries, path: PathLike) -> None:
+    """Write a step series as JSON (``{"times": [...], "values": [...]}``)."""
+    with open(path, "w") as fh:
+        json.dump({"times": series.times, "values": series.values}, fh)
+
+
+def step_series_from_json(path: PathLike) -> StepSeries:
+    with open(path) as fh:
+        data = json.load(fh)
+    return StepSeries(times=data["times"], values=data["values"])

@@ -1,0 +1,93 @@
+"""Time-series extraction from event logs."""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.metrics.events import EventLog, EventRecord
+
+
+@dataclass
+class StepSeries:
+    """A piecewise-constant series (e.g. peerview size over time)."""
+
+    times: List[float]
+    values: List[float]
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.values):
+            raise ValueError("times and values must have equal length")
+        for earlier, later in zip(self.times, self.times[1:]):
+            if later < earlier:
+                raise ValueError("times must be non-decreasing")
+
+    def value_at(self, t: float) -> float:
+        """Value of the last step at or before ``t`` (0 before start)."""
+        index = bisect.bisect_right(self.times, t) - 1
+        if index < 0:
+            return 0.0
+        return self.values[index]
+
+    def sampled(self, at_times: Sequence[float]) -> List[float]:
+        return [self.value_at(t) for t in at_times]
+
+    @property
+    def final(self) -> float:
+        return self.values[-1] if self.values else 0.0
+
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def time_of_max(self) -> float:
+        if not self.values:
+            return 0.0
+        index = self.values.index(max(self.values))
+        return self.times[index]
+
+
+def peerview_size_series(
+    log: EventLog, observer: str
+) -> StepSeries:
+    """Reconstruct ``l(t)`` for one rendezvous from its add/remove
+    events (the paper's Figure 3 left / Figure 4 left curves)."""
+    times: List[float] = [0.0]
+    values: List[float] = [0.0]
+    size = 0
+    events = [
+        r for r in log.records(observer=observer)
+        if r.kind in ("peerview.add", "peerview.remove")
+    ]
+    events.sort(key=lambda r: r.time)
+    for record in events:
+        size += 1 if record.kind == "peerview.add" else -1
+        times.append(record.time)
+        values.append(float(size))
+    return StepSeries(times, values)
+
+
+def sample_at(series: StepSeries, start: float, stop: float, step: float) -> Tuple[List[float], List[float]]:
+    """Sample a step series on a regular grid (inclusive of ``stop``)."""
+    if step <= 0:
+        raise ValueError(f"step must be > 0 (got {step})")
+    count = int(math.floor((stop - start) / step + 1e-9)) + 1
+    xs = [start + i * step for i in range(max(count, 0))]
+    return xs, series.sampled(xs)
+
+
+def latency_stats(samples: Iterable[float]) -> Dict[str, float]:
+    """Mean/min/max/p95 of a latency sample set, in the input unit."""
+    data = sorted(samples)
+    if not data:
+        raise ValueError("no samples")
+    n = len(data)
+    return {
+        "count": float(n),
+        "mean": sum(data) / n,
+        "min": data[0],
+        "max": data[-1],
+        "p50": data[n // 2],
+        "p95": data[min(n - 1, int(round(0.95 * (n - 1))))],
+    }

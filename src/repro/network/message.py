@@ -1,0 +1,42 @@
+"""Wire envelope carried by the network substrate.
+
+The network layer treats protocol payloads as opaque; only the source
+and destination transport addresses and the byte size matter for
+delivery.  Higher layers (``repro.endpoint``) put structured JXTA
+messages inside.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_envelope_ids = itertools.count(1)
+
+
+@dataclass
+class Envelope:
+    """One message in flight between two transport addresses."""
+
+    src: str
+    dst: str
+    payload: Any
+    #: Serialized size in bytes; drives the bandwidth term of the
+    #: delivery delay.  Payloads that know their size (JXTA messages)
+    #: report it; otherwise callers pass an estimate.
+    size_bytes: int = 512
+    #: Unique id for tracing / stats.
+    envelope_id: int = field(default_factory=lambda: next(_envelope_ids))
+    #: Simulated time the envelope was handed to the network.
+    sent_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"size_bytes must be > 0 (got {self.size_bytes})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Envelope(#{self.envelope_id} {self.src} -> {self.dst}, "
+            f"{self.size_bytes}B)"
+        )

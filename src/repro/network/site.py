@@ -1,0 +1,123 @@
+"""Grid'5000 sites and physical node placement.
+
+The nine sites are the ones the paper lists in §4 ("All 9 sites of the
+Grid'5000 testbed were used: Bordeaux, Grenoble, Lille, Lyon, Nancy,
+Orsay, Rennes, Sophia and Toulouse").  Coordinates are approximate
+city locations used only to synthesize a plausible inter-site latency
+matrix; see :mod:`repro.network.latency`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Site:
+    """One Grid'5000 site (a cluster of nodes behind a common router)."""
+
+    name: str
+    #: Approximate location, degrees (latitude, longitude).
+    lat: float
+    lon: float
+
+    def distance_km(self, other: "Site") -> float:
+        """Great-circle distance to another site, in kilometres."""
+        if self is other or self.name == other.name:
+            return 0.0
+        rad = math.pi / 180.0
+        phi1, phi2 = self.lat * rad, other.lat * rad
+        dphi = (other.lat - self.lat) * rad
+        dlmb = (other.lon - self.lon) * rad
+        a = (
+            math.sin(dphi / 2) ** 2
+            + math.cos(phi1) * math.cos(phi2) * math.sin(dlmb / 2) ** 2
+        )
+        return 6371.0 * 2 * math.asin(math.sqrt(a))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: The nine sites used in the paper's experiments.
+GRID5000_SITES: tuple[Site, ...] = (
+    Site("bordeaux", 44.84, -0.58),
+    Site("grenoble", 45.19, 5.72),
+    Site("lille", 50.63, 3.07),
+    Site("lyon", 45.75, 4.85),
+    Site("nancy", 48.69, 6.18),
+    Site("orsay", 48.70, 2.19),
+    Site("rennes", 48.11, -1.68),
+    Site("sophia", 43.62, 7.05),
+    Site("toulouse", 43.60, 1.44),
+)
+
+_SITE_BY_NAME: Dict[str, Site] = {s.name: s for s in GRID5000_SITES}
+
+
+def site_by_name(name: str) -> Site:
+    """Look up one of the nine sites by name (case-insensitive)."""
+    try:
+        return _SITE_BY_NAME[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown Grid'5000 site {name!r}; known: "
+            + ", ".join(sorted(_SITE_BY_NAME))
+        ) from None
+
+
+@dataclass
+class Node:
+    """A physical machine hosting one or more peers."""
+
+    node_id: int
+    site: Site
+    hostname: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.hostname:
+            self.hostname = f"{self.site.name}-{self.node_id}"
+
+    def __hash__(self) -> int:
+        return hash(self.node_id)
+
+    def __str__(self) -> str:
+        return self.hostname
+
+
+def place_nodes(
+    count: int,
+    sites: Optional[Sequence[Site]] = None,
+    per_site: Optional[Dict[str, int]] = None,
+) -> List[Node]:
+    """Place ``count`` nodes across sites.
+
+    By default nodes are dealt round-robin across all nine sites, which
+    mirrors the paper's multi-site deployments (ADAGE spread peers over
+    every available cluster).  ``per_site`` gives explicit counts, e.g.
+    ``{"rennes": 64, "orsay": 32}``; its values must sum to ``count``.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0 (got {count})")
+    if per_site is not None:
+        total = sum(per_site.values())
+        if total != count:
+            raise ValueError(
+                f"per_site counts sum to {total}, expected count={count}"
+            )
+        nodes: List[Node] = []
+        nid = 0
+        for name, n in per_site.items():
+            if n < 0:
+                raise ValueError(f"negative node count for site {name!r}")
+            site = site_by_name(name)
+            for _ in range(n):
+                nodes.append(Node(nid, site))
+                nid += 1
+        return nodes
+    chosen = tuple(sites) if sites is not None else GRID5000_SITES
+    if not chosen:
+        raise ValueError("need at least one site")
+    return [Node(i, chosen[i % len(chosen)]) for i in range(count)]

@@ -1,0 +1,239 @@
+"""Message transport over the simulated grid.
+
+Models what the paper's TCP-over-Gigabit/RENATER transport contributes
+to end-to-end timing:
+
+* **propagation delay** from the latency model (intra- vs inter-site);
+* **serialization delay** ``size / bandwidth``;
+* **per-message software overhead** — JXTA-C parses and re-emits XML
+  for every message; the paper's ~12 ms four-message discovery at
+  r ≤ 50 implies a couple of milliseconds of software cost per hop on
+  2006-era Opterons, dominated by XML handling, not the wire;
+* optional **loss** (used by the churn/volatility extension; the
+  paper's controlled runs are loss-free).
+
+Destinations are *transport addresses* (strings).  A peer attaches a
+handler per address; detaching models a crashed peer — messages to it
+are dropped, exactly like TCP connect failures to a dead host.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.network.latency import Grid5000Latency, LatencyModel
+from repro.network.message import Envelope
+from repro.network.site import Node
+from repro.network.stats import TrafficStats
+from repro.sim.kernel import Simulator
+
+Handler = Callable[[Envelope], None]
+
+#: Gigabit Ethernet, the paper's hardware network layer.
+DEFAULT_BANDWIDTH_BPS: float = 1e9
+#: Per-message software overhead (XML parse/emit + stack traversal).
+DEFAULT_SW_OVERHEAD: float = 0.8e-3
+
+
+class DeliveryError(Exception):
+    """Raised for malformed sends (unknown source, bad sizes)."""
+
+
+class Network:
+    """The simulated grid network connecting peers.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator (provides the clock and RNG streams).
+    latency:
+        One-way latency model; defaults to :class:`Grid5000Latency`.
+    bandwidth_bps:
+        Link bandwidth used for the serialization term.
+    sw_overhead:
+        Fixed per-message software cost added at the receiver side.
+    loss_rate:
+        Probability a message silently disappears (default 0, like the
+        paper's controlled testbed).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+        sw_overhead: float = DEFAULT_SW_OVERHEAD,
+        loss_rate: float = 0.0,
+        egress_queueing: bool = True,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be > 0 (got {bandwidth_bps})")
+        if sw_overhead < 0:
+            raise ValueError(f"sw_overhead must be >= 0 (got {sw_overhead})")
+        if not (0.0 <= loss_rate < 1.0):
+            raise ValueError(f"loss_rate must be in [0, 1) (got {loss_rate})")
+        self.sim = sim
+        self.latency = latency if latency is not None else Grid5000Latency()
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.sw_overhead = float(sw_overhead)
+        self.loss_rate = float(loss_rate)
+        #: Serialize each node's outgoing messages through its NIC:
+        #: concurrent sends from one machine queue behind each other
+        #: (visible when an SRDI burst pushes thousands of tuples).
+        self.egress_queueing = egress_queueing
+        self.stats = TrafficStats()
+        self._endpoints: Dict[str, tuple[Node, Handler]] = {}
+        #: node id -> simulated time its NIC finishes the current send
+        self._egress_busy_until: Dict[int, float] = {}
+        #: worst egress queueing delay observed (diagnostics)
+        self.peak_queue_delay = 0.0
+        #: blocked unordered site pairs (WAN partitions)
+        self._partitions: set[frozenset] = set()
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+    def attach(self, address: str, node: Node, handler: Handler) -> None:
+        """Bind ``handler`` to a transport address on ``node``."""
+        if address in self._endpoints:
+            raise DeliveryError(f"address already attached: {address!r}")
+        self._endpoints[address] = (node, handler)
+
+    def detach(self, address: str) -> None:
+        """Remove an address (peer shutdown/crash).  Idempotent."""
+        self._endpoints.pop(address, None)
+
+    def is_attached(self, address: str) -> bool:
+        return address in self._endpoints
+
+    def node_of(self, address: str) -> Node:
+        """Physical node currently bound to ``address``."""
+        try:
+            return self._endpoints[address][0]
+        except KeyError:
+            raise DeliveryError(f"unknown address: {address!r}") from None
+
+    # ------------------------------------------------------------------
+    # WAN partitions (site-level volatility)
+    # ------------------------------------------------------------------
+    def partition(self, site_a: str, site_b: str) -> None:
+        """Sever the WAN path between two sites: messages between them
+        are dropped until :meth:`heal` (models an inter-site RENATER
+        outage; intra-site traffic is unaffected)."""
+        if site_a == site_b:
+            raise ValueError("cannot partition a site from itself")
+        self._partitions.add(frozenset((site_a, site_b)))
+
+    def heal(self, site_a: str, site_b: str) -> None:
+        """Restore the WAN path between two sites.  Idempotent."""
+        self._partitions.discard(frozenset((site_a, site_b)))
+
+    def heal_all(self) -> None:
+        self._partitions.clear()
+
+    def is_partitioned(self, site_a: str, site_b: str) -> bool:
+        return frozenset((site_a, site_b)) in self._partitions
+
+    def isolate_site(self, site: str, all_sites) -> None:
+        """Partition ``site`` from every other site in ``all_sites``."""
+        for other in all_sites:
+            name = getattr(other, "name", other)
+            if name != site:
+                self.partition(site, name)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def transit_delay(self, src: Node, dst: Node, size_bytes: int) -> float:
+        """Deterministic part of the delivery delay (no jitter draw,
+        no queueing)."""
+        serialization = size_bytes * 8.0 / self.bandwidth_bps
+        return serialization + self.sw_overhead
+
+    def _egress_delay(self, src_node: Node, size_bytes: int) -> float:
+        """Time from now until the message has left ``src_node``'s NIC,
+        accounting for earlier in-flight sends from the same machine."""
+        now = self.sim.now
+        serialization = size_bytes * 8.0 / self.bandwidth_bps
+        if not self.egress_queueing:
+            return serialization
+        start = max(now, self._egress_busy_until.get(src_node.node_id, 0.0))
+        departure = start + serialization
+        self._egress_busy_until[src_node.node_id] = departure
+        queue_delay = start - now
+        if queue_delay > self.peak_queue_delay:
+            self.peak_queue_delay = queue_delay
+        return departure - now
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        payload: Any,
+        size_bytes: int = 512,
+        on_drop: Optional[Callable[[Envelope], None]] = None,
+    ) -> Envelope:
+        """Send ``payload`` from address ``src`` to address ``dst``.
+
+        Delivery is asynchronous: the destination handler runs after
+        the computed delay.  If the destination is not attached at
+        *send* time the message is dropped (and ``on_drop`` is invoked
+        after the same delay — the sender perceives the failure no
+        sooner than a connect attempt would).  A destination that
+        detaches while the message is in flight also drops it.
+        """
+        entry = self._endpoints.get(src)
+        if entry is None:
+            raise DeliveryError(f"unknown source address: {src!r}")
+        src_node = entry[0]
+
+        envelope = Envelope(
+            src=src, dst=dst, payload=payload, size_bytes=size_bytes,
+            sent_at=self.sim.now,
+        )
+        dst_entry = self._endpoints.get(dst)
+        dst_node = dst_entry[0] if dst_entry is not None else src_node
+        dst_site = dst_node.site
+
+        self.stats.record_send(
+            src_node.site.name, dst_site.name, dst, size_bytes
+        )
+
+        rng = self.sim.rng.stream("network.latency")
+        delay = (
+            self._egress_delay(src_node, size_bytes)
+            + self.latency.delay(src_node.site, dst_site, rng)
+            + self.sw_overhead
+        )
+
+        lost = (
+            dst_entry is None
+            or self.is_partitioned(src_node.site.name, dst_site.name)
+            or (
+                self.loss_rate > 0.0
+                and self.sim.rng.stream("network.loss").random() < self.loss_rate
+            )
+        )
+        if lost:
+            self.stats.record_drop()
+            if on_drop is not None:
+                self.sim.schedule(delay, on_drop, envelope, label="net.drop")
+            return envelope
+
+        self.sim.schedule(
+            delay, self._deliver, envelope, on_drop, label="net.deliver"
+        )
+        return envelope
+
+    def _deliver(
+        self, envelope: Envelope, on_drop: Optional[Callable[[Envelope], None]]
+    ) -> None:
+        entry = self._endpoints.get(envelope.dst)
+        if entry is None:
+            # destination died while the message was in flight
+            self.stats.record_drop()
+            if on_drop is not None:
+                on_drop(envelope)
+            return
+        self.stats.record_delivery()
+        entry[1](envelope)

@@ -1,0 +1,234 @@
+"""Per-group service contexts: JXTA peer group membership.
+
+"A 'peer group' is a set of peers with a common interest, and
+providing common services" (§3.1) — and a peer may belong to several.
+Every protocol above the endpoint layer is *scoped to a group*: each
+group has its own resolver channel, advertisement cache, peerview (for
+rendezvous members), leases and discovery index.  The endpoint layer
+(one transport address, one ERP router) is shared, and endpoint
+listeners are keyed by ``(service name, group parameter)``, so the
+same peer demultiplexes any number of groups over one socket — exactly
+JXTA's design.
+
+A :class:`GroupContext` bundles one group's services for one peer.  A
+peer is built with a *primary* context (the Net peer group by default)
+and can join further groups with
+:meth:`repro.peergroup.peer.Peer.join_group`, acting as rendezvous in
+some groups and edge in others.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.advertisement.cache import AdvertisementCache
+from repro.advertisement.rdvadv import RdvAdvertisement
+from repro.config import PlatformConfig
+from repro.discovery.replica import ReplicaFunction
+from repro.discovery.service import DiscoveryService
+from repro.endpoint.service import EndpointMessage
+from repro.ids.jxtaid import PeerGroupID
+from repro.rendezvous.lease import EdgeLeaseClient, RdvLeaseServer
+from repro.rendezvous.messages import PropagatedMessage
+from repro.rendezvous.propagation import PROPAGATE_SERVICE_NAME, PropagationService
+from repro.rendezvous.protocol import PeerViewProtocol
+from repro.resolver.messages import ResolverQuery
+from repro.resolver.service import ResolverService
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.peergroup.peer import Peer
+
+
+class GroupContext:
+    """One peer's membership in one peer group."""
+
+    #: "rendezvous" or "edge"
+    role: str = ""
+
+    def __init__(
+        self,
+        peer: "Peer",
+        group_id: PeerGroupID,
+        config: PlatformConfig,
+    ) -> None:
+        self.peer = peer
+        self.group_id = group_id
+        self.config = config
+        self.group_param = group_id.urn()
+        self.resolver = ResolverService(peer.endpoint, group_param=self.group_param)
+        self.cache = AdvertisementCache()
+        self.discovery: Optional[DiscoveryService] = None  # set by subclass
+        self.started = False
+
+    @property
+    def is_rendezvous(self) -> bool:
+        return self.role == "rendezvous"
+
+    # lifecycle hooks -----------------------------------------------------
+    def start(self) -> None:
+        if self.started:
+            return
+        self.started = True
+        self._start()
+        # every JXTA peer publishes its own peer advertisement at boot,
+        # so members are discoverable by name/PID within the group
+        from repro.advertisement.peeradv import PeerAdvertisement
+
+        self.discovery.publish(
+            PeerAdvertisement(self.peer.peer_id, self.group_id, self.peer.name)
+        )
+
+    def stop(self) -> None:
+        if not self.started:
+            return
+        self.started = False
+        self._stop()
+
+    def halt(self) -> None:
+        """Crash semantics: lose in-memory state, send no farewells."""
+        if not self.started:
+            return
+        self.started = False
+        self._halt()
+
+    def _start(self) -> None:  # pragma: no cover - subclass hook
+        raise NotImplementedError
+
+    def _stop(self) -> None:  # pragma: no cover - subclass hook
+        raise NotImplementedError
+
+    def _halt(self) -> None:
+        self._stop()
+
+
+class RendezvousGroupContext(GroupContext):
+    """Super-peer role: peerview + lease server + propagation + LC-DHT."""
+
+    role = "rendezvous"
+
+    def __init__(
+        self,
+        peer: "Peer",
+        group_id: PeerGroupID,
+        config: PlatformConfig,
+        replica_fn: Optional[ReplicaFunction] = None,
+        discovery_mode: str = "lcdht",
+    ) -> None:
+        super().__init__(peer, group_id, config)
+        self.rdv_adv = RdvAdvertisement(
+            rdv_peer_id=peer.peer_id,
+            group_id=group_id,
+            name=peer.name,
+            route_hint=peer.address,
+        )
+        self.peerview_protocol = PeerViewProtocol(
+            peer.endpoint, config, self.rdv_adv, self.group_param
+        )
+        self.lease_server = RdvLeaseServer(
+            peer.endpoint, config, self.rdv_adv, self.group_param
+        )
+        self.propagation = PropagationService(
+            peer.endpoint, self.resolver, self.view, config, self.group_param
+        )
+        self.resolver.propagator = self.propagation.propagate
+        self.discovery = DiscoveryService(
+            peer.sim, config, self.resolver, self.cache,
+            is_rendezvous=True, view=self.view, replica_fn=replica_fn,
+            mode=discovery_mode,
+        )
+        # edges that disappear take their SRDI records with them
+        self.lease_server.on_edge_disconnected = (
+            self.discovery.srdi.remove_publisher
+        )
+
+    @property
+    def view(self):
+        """The local peerview for this group."""
+        return self.peerview_protocol.view
+
+    def _start(self) -> None:
+        self.peerview_protocol.start()
+        self.discovery.start_maintenance()
+
+    def _stop(self) -> None:
+        self.discovery.stop_maintenance()
+        self.peerview_protocol.stop()
+
+    def _halt(self) -> None:
+        # a crash loses all in-memory state: the peerview, the SRDI
+        # store and the lease table vanish; the advertisement cache
+        # survives (JXTA-C's CM is disk-backed)
+        self.discovery.stop_maintenance()
+        self.peerview_protocol.stop()
+        now = self.peer.sim.now
+        for pid in list(self.view.known_ids()):
+            self.view.remove(pid, now, reason="crash")
+        self.peerview_protocol._seeds_contacted = False
+        self.discovery.srdi.clear()
+        self.lease_server._leases.clear()
+
+
+class EdgeGroupContext(GroupContext):
+    """Regular-peer role: lease client + SRDI pusher + discovery."""
+
+    role = "edge"
+
+    def __init__(
+        self,
+        peer: "Peer",
+        group_id: PeerGroupID,
+        config: PlatformConfig,
+        replica_fn: Optional[ReplicaFunction] = None,
+        discovery_mode: str = "lcdht",
+    ) -> None:
+        super().__init__(peer, group_id, config)
+        self.lease_client = EdgeLeaseClient(peer.endpoint, config, self.group_param)
+        self.discovery = DiscoveryService(
+            peer.sim, config, self.resolver, self.cache,
+            is_rendezvous=False, lease_client=self.lease_client,
+            replica_fn=replica_fn, mode=discovery_mode,
+        )
+        self.resolver.propagator = self._propagate_via_rdv
+
+    def _propagate_via_rdv(self, query: ResolverQuery) -> None:
+        """Edge-originated group propagation goes through the leased
+        rendezvous (the lease is the subscription to propagation)."""
+        rdv_address = self.lease_client.rdv_address
+        if rdv_address is None:
+            raise RuntimeError(
+                f"{self.peer.name} cannot propagate in "
+                f"{self.group_id.short()}: no rendezvous lease yet"
+            )
+        self.peer.endpoint.send_direct(
+            rdv_address,
+            EndpointMessage(
+                src_peer=self.peer.peer_id,
+                dst_peer=self.lease_client.rdv_peer_id,
+                service_name=PROPAGATE_SERVICE_NAME,
+                service_param=self.group_param,
+                body=PropagatedMessage(
+                    payload=query, ttl=self.config.propagate_ttl
+                ),
+            ),
+        )
+
+    def _start(self) -> None:
+        self.lease_client.connect()
+        self.discovery.pusher.start()
+
+    def _stop(self) -> None:
+        self.discovery.pusher.stop()
+        self.lease_client.disconnect()
+
+    def _halt(self) -> None:
+        # crash: no LeaseCancel farewell
+        self.discovery.pusher.stop()
+        client = self.lease_client
+        if client._renewal_handle is not None:
+            client._renewal_handle.cancel()
+            client._renewal_handle = None
+        if client._request_timeout_handle is not None:
+            client._request_timeout_handle.cancel()
+            client._request_timeout_handle = None
+        client._connecting = False
+        client.rdv_adv = None

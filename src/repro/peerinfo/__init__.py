@@ -1,0 +1,11 @@
+"""The Peer Information Protocol (PIP).
+
+The last of the six JXTA 2.0 protocols: a query/response exchange
+through which a peer obtains status information — uptime, traffic
+counters, liveness — about another peer.  Rides the resolver like
+every other higher-level service.
+"""
+
+from repro.peerinfo.service import PeerInfoResponse, PeerInfoService
+
+__all__ = ["PeerInfoResponse", "PeerInfoService"]

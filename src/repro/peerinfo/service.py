@@ -1,0 +1,108 @@
+"""Peer information service: ping a peer, read its status."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.endpoint.service import EndpointService
+from repro.ids.jxtaid import PeerID
+from repro.resolver.messages import ResolverQuery, ResolverResponse
+from repro.resolver.service import QueryHandler, ResolverService
+from repro.sim.kernel import Simulator
+
+#: Resolver handler name for peer-information traffic.
+PEERINFO_HANDLER_NAME = "jxta.service.peerinfo"
+
+
+@dataclass
+class PeerInfoQueryPayload:
+    """Request for a peer's status (empty body; addressing does the work)."""
+
+    def size_bytes(self) -> int:
+        return 90
+
+
+@dataclass
+class PeerInfoResponse:
+    """A peer's self-reported status."""
+
+    peer_id: PeerID
+    name: str
+    uptime: float
+    messages_in: int
+    messages_out: int
+    is_rendezvous: bool
+
+    def size_bytes(self) -> int:
+        return 240
+
+
+class PeerInfoService(QueryHandler):
+    """PIP endpoint for one peer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        endpoint: EndpointService,
+        resolver: ResolverService,
+        name: str,
+        is_rendezvous: bool,
+    ) -> None:
+        self.sim = sim
+        self.endpoint = endpoint
+        self.resolver = resolver
+        self.name = name
+        self.is_rendezvous = is_rendezvous
+        self.started_at = sim.now
+        self._pending: Dict[int, tuple] = {}
+        resolver.register_handler(PEERINFO_HANDLER_NAME, self)
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def ping(
+        self,
+        peer_id: PeerID,
+        callback: Callable[[PeerInfoResponse, float], None],
+        on_timeout: Optional[Callable[[], None]] = None,
+        timeout: float = 10.0,
+    ) -> None:
+        """Request ``peer_id``'s status; ``callback(info, rtt_seconds)``."""
+        query = self.resolver.new_query(
+            PEERINFO_HANDLER_NAME, PeerInfoQueryPayload()
+        )
+        handle = self.sim.schedule(
+            timeout, self._timed_out, query.query_id, label="peerinfo.timeout"
+        )
+        self._pending[query.query_id] = (callback, on_timeout, self.sim.now, handle)
+        self.resolver.send_query(peer_id, query)
+
+    def _timed_out(self, query_id: int) -> None:
+        entry = self._pending.pop(query_id, None)
+        if entry is not None and entry[1] is not None:
+            entry[1]()
+
+    # ------------------------------------------------------------------
+    # server side
+    # ------------------------------------------------------------------
+    def process_query(self, query: ResolverQuery):
+        if not isinstance(query.payload, PeerInfoQueryPayload):
+            return None
+        return PeerInfoResponse(
+            peer_id=self.endpoint.peer_id,
+            name=self.name,
+            uptime=self.sim.now - self.started_at,
+            messages_in=self.endpoint.messages_in,
+            messages_out=self.endpoint.messages_out,
+            is_rendezvous=self.is_rendezvous,
+        )
+
+    def process_response(self, response: ResolverResponse) -> None:
+        entry = self._pending.pop(response.query_id, None)
+        if entry is None:
+            return
+        callback, _, sent_at, handle = entry
+        handle.cancel()
+        if isinstance(response.payload, PeerInfoResponse):
+            callback(response.payload, self.sim.now - sent_at)

@@ -1,0 +1,24 @@
+"""The Pipe Binding Protocol (PBP).
+
+Pipes are JXTA's application-level channels, the API actual JXTA
+applications (JuxMem, the paper's motivating middleware, among them)
+build on.  A peer *binds* an input pipe to receive; a sender *resolves*
+an output pipe — discovering which peer(s) currently bind the pipe ID
+through the discovery/LC-DHT machinery — and then sends messages
+directly to the bound peers through the endpoint layer.
+
+With this module the reproduction implements five of the six JXTA 2.0
+protocols end to end (PDP, PRP, PBP, ERP, RVP); the sixth, the Peer
+Information Protocol, lives in :mod:`repro.peerinfo`.
+"""
+
+from repro.pipes.binding import PipeBindingAdvertisement
+from repro.pipes.service import InputPipe, OutputPipe, PipeMessage, PipeService
+
+__all__ = [
+    "InputPipe",
+    "OutputPipe",
+    "PipeBindingAdvertisement",
+    "PipeMessage",
+    "PipeService",
+]

@@ -1,0 +1,227 @@
+"""The pipe service: bind, resolve, send.
+
+Unicast pipes deliver to one bound peer; propagate pipes fan out to
+every bound peer the resolution found.  Resolution rides the discovery
+protocol (and therefore the LC-DHT), so pipe performance inherits all
+the peerview-consistency effects the paper studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.advertisement.base import DEFAULT_EXPIRATION
+from repro.advertisement.pipeadv import PIPE_TYPE_PROPAGATE, PipeAdvertisement
+from repro.config import PlatformConfig
+from repro.discovery.service import DiscoveryService
+from repro.endpoint.service import EndpointMessage, EndpointService
+from repro.ids.jxtaid import PipeID
+from repro.pipes.binding import PipeBindingAdvertisement
+from repro.sim.kernel import Simulator
+
+#: Endpoint service name for pipe traffic; the parameter is the pipe ID.
+PIPE_SERVICE_NAME = "jxta.service.pipe"
+
+
+@dataclass
+class PipeMessage:
+    """One application payload in a pipe."""
+
+    pipe_id: PipeID
+    payload: Any
+
+    def size_bytes(self) -> int:
+        if isinstance(self.payload, (str, bytes)):
+            inner = len(self.payload)
+        else:
+            size = getattr(self.payload, "size_bytes", None)
+            inner = int(size()) if callable(size) else 256
+        return 140 + inner
+
+
+class InputPipe:
+    """A bound receiving end of a pipe."""
+
+    def __init__(
+        self,
+        service: "PipeService",
+        adv: PipeAdvertisement,
+        listener: Callable[[PipeMessage], None],
+    ) -> None:
+        self.service = service
+        self.adv = adv
+        self.listener = listener
+        self.received = 0
+        self.closed = False
+
+    @property
+    def pipe_id(self) -> PipeID:
+        return self.adv.pipe_id
+
+    def close(self) -> None:
+        """Unbind; messages sent afterwards are dropped locally."""
+        if not self.closed:
+            self.closed = True
+            self.service._unbind(self)
+
+    def _deliver(self, message: PipeMessage) -> None:
+        if not self.closed:
+            self.received += 1
+            self.listener(message)
+
+
+class OutputPipe:
+    """A resolved sending end of a pipe."""
+
+    def __init__(
+        self,
+        service: "PipeService",
+        adv: PipeAdvertisement,
+        bindings: List[PipeBindingAdvertisement],
+    ) -> None:
+        if not bindings:
+            raise ValueError("an output pipe needs at least one binding")
+        self.service = service
+        self.adv = adv
+        self.bindings = bindings
+        self.sent = 0
+
+    @property
+    def pipe_id(self) -> PipeID:
+        return self.adv.pipe_id
+
+    @property
+    def is_propagate(self) -> bool:
+        return self.adv.pipe_type == PIPE_TYPE_PROPAGATE
+
+    def send(self, payload: Any) -> int:
+        """Send ``payload`` down the pipe.  Returns the number of bound
+        peers the message was dispatched to (1 for unicast pipes)."""
+        targets = self.bindings if self.is_propagate else self.bindings[:1]
+        message = PipeMessage(pipe_id=self.pipe_id, payload=payload)
+        for binding in targets:
+            self.service._send(binding, message)
+        self.sent += 1
+        return len(targets)
+
+
+class PipeService:
+    """Per-peer pipe endpoint: binding registry + resolution."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        endpoint: EndpointService,
+        discovery: DiscoveryService,
+        config: PlatformConfig,
+    ) -> None:
+        self.sim = sim
+        self.endpoint = endpoint
+        self.discovery = discovery
+        self.config = config
+        self._inputs: Dict[PipeID, InputPipe] = {}
+        endpoint.add_listener(PIPE_SERVICE_NAME, "*", self._on_message)
+
+    # ------------------------------------------------------------------
+    # input side
+    # ------------------------------------------------------------------
+    def bind_input(
+        self,
+        adv: PipeAdvertisement,
+        listener: Callable[[PipeMessage], None],
+        expiration: float = DEFAULT_EXPIRATION,
+    ) -> InputPipe:
+        """Bind the receiving end of ``adv`` on this peer and announce
+        the binding through the discovery protocol."""
+        if adv.pipe_id in self._inputs:
+            raise ValueError(f"pipe already bound: {adv.pipe_id.short()}")
+        pipe = InputPipe(self, adv, listener)
+        self._inputs[adv.pipe_id] = pipe
+        self.discovery.publish(
+            PipeBindingAdvertisement(
+                pipe_id=adv.pipe_id,
+                peer_id=self.endpoint.peer_id,
+                address=self.endpoint.advertised_address,
+            ),
+            expiration=expiration,
+        )
+        return pipe
+
+    def _unbind(self, pipe: InputPipe) -> None:
+        self._inputs.pop(pipe.pipe_id, None)
+        self.discovery.cache.remove(
+            PipeBindingAdvertisement(
+                pipe_id=pipe.pipe_id,
+                peer_id=self.endpoint.peer_id,
+                address=self.endpoint.advertised_address,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # output side
+    # ------------------------------------------------------------------
+    def resolve_output(
+        self,
+        adv: PipeAdvertisement,
+        callback: Callable[[OutputPipe], None],
+        on_timeout: Optional[Callable[[], None]] = None,
+        timeout: Optional[float] = None,
+        threshold: Optional[int] = None,
+    ) -> None:
+        """Resolve the sending end of ``adv``: discover which peers
+        bind the pipe, then hand a ready :class:`OutputPipe` to
+        ``callback``.  Unicast pipes resolve the first binder;
+        propagate pipes collect up to ``threshold`` (default 16)."""
+        want = threshold if threshold is not None else (
+            16 if adv.pipe_type == PIPE_TYPE_PROPAGATE else 1
+        )
+
+        def on_found(advertisements, latency):
+            bindings = [
+                a for a in advertisements
+                if isinstance(a, PipeBindingAdvertisement)
+            ]
+            if not bindings:
+                if on_timeout is not None:
+                    on_timeout()
+                return
+            callback(OutputPipe(self, adv, bindings))
+
+        self.discovery.get_remote_advertisements(
+            PipeBindingAdvertisement.ADV_TYPE,
+            "PipeID",
+            adv.pipe_id.urn(),
+            callback=on_found,
+            threshold=want,
+            on_timeout=on_timeout,
+            timeout=timeout,
+        )
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _send(self, binding: PipeBindingAdvertisement, message: PipeMessage) -> None:
+        if binding.peer_id == self.endpoint.peer_id:
+            self._dispatch(message)
+            return
+        self.endpoint.router.add_route(binding.peer_id, [binding.address])
+        self.endpoint.send_to_peer(
+            EndpointMessage(
+                src_peer=self.endpoint.peer_id,
+                dst_peer=binding.peer_id,
+                service_name=PIPE_SERVICE_NAME,
+                service_param=message.pipe_id.urn(),
+                body=message,
+            )
+        )
+
+    def _on_message(self, message: EndpointMessage) -> None:
+        body = message.body
+        if isinstance(body, PipeMessage):
+            self._dispatch(body)
+
+    def _dispatch(self, message: PipeMessage) -> None:
+        pipe = self._inputs.get(message.pipe_id)
+        if pipe is not None:
+            pipe._deliver(message)

@@ -1,0 +1,53 @@
+"""The rendezvous protocol.
+
+"As stated by the JXTA specifications, the rendezvous protocol is
+divided into three sub-protocols: (1) the peerview protocol, used by
+rendezvous peers to organize themselves by synchronizing their views
+of each other; (2) the rendezvous lease protocol, used by edge peers
+to subscribe to the reception of messages propagated by the rendezvous
+peers; (3) the rendezvous propagation protocol, which enables peers to
+manage the propagation of individual messages within a group" (§3.2).
+
+All three live here:
+
+* :mod:`repro.rendezvous.peerview` — the local peerview data
+  structure (sorted by peer ID, entry expiry, Property (2) checks);
+* :mod:`repro.rendezvous.protocol` — Algorithm 1, the periodic
+  probe/referral convergence loop;
+* :mod:`repro.rendezvous.lease` — edge ↔ rendezvous leases;
+* :mod:`repro.rendezvous.propagation` — group-wide message
+  propagation (peerview walk and flood).
+"""
+
+from repro.rendezvous.lease import EdgeLeaseClient, RdvLeaseServer
+from repro.rendezvous.messages import (
+    LeaseCancel,
+    LeaseGrant,
+    LeaseRequest,
+    PeerViewProbe,
+    PeerViewReferral,
+    PeerViewResponse,
+    PeerViewUpdate,
+    PropagatedMessage,
+)
+from repro.rendezvous.peerview import PeerView, PeerViewEntry, PeerViewEvent
+from repro.rendezvous.propagation import PropagationService
+from repro.rendezvous.protocol import PeerViewProtocol
+
+__all__ = [
+    "EdgeLeaseClient",
+    "LeaseCancel",
+    "LeaseGrant",
+    "LeaseRequest",
+    "PeerView",
+    "PeerViewEntry",
+    "PeerViewEvent",
+    "PeerViewProbe",
+    "PeerViewProtocol",
+    "PeerViewReferral",
+    "PeerViewResponse",
+    "PeerViewUpdate",
+    "PropagatedMessage",
+    "PropagationService",
+    "RdvLeaseServer",
+]

@@ -1,0 +1,243 @@
+"""The local peerview data structure.
+
+"This protocol allows rendezvous peers to work together to form a
+so-called global peerview: an ordered list (by peer ID) of peers
+currently acting as rendezvous peers within a given group.  [...]
+Each rendezvous peer maintains a local version of the list which
+represents its view of the global peerview" (§3.2).
+
+Conventions matching the paper:
+
+* the list is totally ordered by peer ID;
+* the local peer is part of the list (Table 1's replica ranks count
+  every rendezvous), but the *measured size* ``l`` excludes it
+  (footnote 2: "Our measurement excludes the local rendezvous peer
+  from the size of the peerview");
+* an entry expires when it has not been refreshed for
+  ``PVE_EXPIRATION`` (Algorithm 1, line 3).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.advertisement.rdvadv import RdvAdvertisement
+from repro.ids.jxtaid import PeerID
+
+
+@dataclass
+class PeerViewEntry:
+    """One rendezvous advertisement held in a local peerview."""
+
+    adv: RdvAdvertisement
+    first_seen: float
+    last_refreshed: float
+
+    @property
+    def peer_id(self) -> PeerID:
+        return self.adv.rdv_peer_id
+
+
+@dataclass(frozen=True)
+class PeerViewEvent:
+    """Add/remove event, the unit of the Figure 3 (right) scatter."""
+
+    time: float
+    kind: str  # "add" | "remove"
+    subject: PeerID
+    reason: str = ""
+
+
+PeerViewListener = Callable[[PeerViewEvent], None]
+
+
+class PeerView:
+    """Sorted, expiring set of rendezvous advertisements."""
+
+    def __init__(self, local_adv: RdvAdvertisement) -> None:
+        self.local_adv = local_adv
+        self.local_peer_id = local_adv.rdv_peer_id
+        self._entries: Dict[PeerID, PeerViewEntry] = {}
+        self._sorted_ids: List[PeerID] = [self.local_peer_id]
+        self._listeners: List[PeerViewListener] = []
+        self.adds = 0
+        self.removes = 0
+
+    # ------------------------------------------------------------------
+    # size & membership
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """``l`` as the paper measures it: entries excluding self."""
+        return len(self._entries)
+
+    def __contains__(self, peer_id: PeerID) -> bool:
+        return peer_id in self._entries or peer_id == self.local_peer_id
+
+    def get(self, peer_id: PeerID) -> Optional[PeerViewEntry]:
+        return self._entries.get(peer_id)
+
+    def known_ids(self) -> Iterable[PeerID]:
+        """IDs of remote entries (excludes self)."""
+        return self._entries.keys()
+
+    def ordered_ids(self) -> List[PeerID]:
+        """All member IDs (self included), ascending — the routing list
+        the LC-DHT rank function indexes into."""
+        return list(self._sorted_ids)
+
+    # ------------------------------------------------------------------
+    # listeners
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: PeerViewListener) -> None:
+        self._listeners.append(listener)
+
+    def _emit(self, event: PeerViewEvent) -> None:
+        for listener in self._listeners:
+            listener(event)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def upsert(self, adv: RdvAdvertisement, now: float) -> str:
+        """Insert or refresh the entry for ``adv``.
+
+        Returns ``"self"`` (ignored: the local peer is implicit),
+        ``"added"`` or ``"refreshed"``.
+        """
+        peer_id = adv.rdv_peer_id
+        if peer_id == self.local_peer_id:
+            return "self"
+        entry = self._entries.get(peer_id)
+        if entry is not None:
+            entry.adv = adv  # newer advertisement (route may change)
+            entry.last_refreshed = now
+            return "refreshed"
+        self._entries[peer_id] = PeerViewEntry(
+            adv=adv, first_seen=now, last_refreshed=now
+        )
+        bisect.insort(self._sorted_ids, peer_id)
+        self.adds += 1
+        self._emit(PeerViewEvent(time=now, kind="add", subject=peer_id))
+        return "added"
+
+    def remove(self, peer_id: PeerID, now: float, reason: str = "") -> bool:
+        """Drop an entry (expiry, explicit failure).  True if present."""
+        if self._entries.pop(peer_id, None) is None:
+            return False
+        index = bisect.bisect_left(self._sorted_ids, peer_id)
+        del self._sorted_ids[index]
+        self.removes += 1
+        self._emit(
+            PeerViewEvent(time=now, kind="remove", subject=peer_id, reason=reason)
+        )
+        return True
+
+    def expire(self, now: float, pve_expiration: float) -> List[PeerID]:
+        """Algorithm 1 line 3: drop entries whose age since the last
+        refresh exceeds ``pve_expiration``.  Returns the dropped IDs."""
+        dead = [
+            pid
+            for pid, entry in self._entries.items()
+            if now - entry.last_refreshed > pve_expiration
+        ]
+        for pid in dead:
+            self.remove(pid, now, reason="expired")
+        return dead
+
+    # ------------------------------------------------------------------
+    # ordering queries
+    # ------------------------------------------------------------------
+    def rank_of(self, peer_id: PeerID) -> Optional[int]:
+        """Position of ``peer_id`` in the ordered list, or None."""
+        index = bisect.bisect_left(self._sorted_ids, peer_id)
+        if index < len(self._sorted_ids) and self._sorted_ids[index] == peer_id:
+            return index
+        return None
+
+    def id_at(self, rank: int) -> PeerID:
+        """Member ID at ``rank`` (0-based) in the ordered list."""
+        return self._sorted_ids[rank]
+
+    def member_count(self) -> int:
+        """Ordered-list length (self included) — the ``l`` of the
+        ReplicaPeer function."""
+        return len(self._sorted_ids)
+
+    def upper_neighbor(self) -> Optional[PeerID]:
+        """The rendezvous whose ID immediately follows ours, or None if
+        we are the top of the sorted list."""
+        rank = self.rank_of(self.local_peer_id)
+        assert rank is not None
+        if rank + 1 < len(self._sorted_ids):
+            return self._sorted_ids[rank + 1]
+        return None
+
+    def lower_neighbor(self) -> Optional[PeerID]:
+        """The rendezvous whose ID immediately precedes ours, or None if
+        we are the bottom of the sorted list."""
+        rank = self.rank_of(self.local_peer_id)
+        assert rank is not None
+        if rank > 0:
+            return self._sorted_ids[rank - 1]
+        return None
+
+    def neighbor_of(self, peer_id: PeerID, direction: int) -> Optional[PeerID]:
+        """Member adjacent to ``peer_id`` in the given direction
+        (+1 = upper, -1 = lower), or None at the list ends.  Used by
+        the LC-DHT walk."""
+        if direction not in (1, -1):
+            raise ValueError(f"direction must be +1 or -1 (got {direction})")
+        rank = self.rank_of(peer_id)
+        if rank is None:
+            return None
+        target = rank + direction
+        if 0 <= target < len(self._sorted_ids):
+            return self._sorted_ids[target]
+        return None
+
+    # ------------------------------------------------------------------
+    # referral choice
+    # ------------------------------------------------------------------
+    def random_referral(
+        self, rng: random.Random, exclude: Iterable[PeerID] = ()
+    ) -> Optional[PeerViewEntry]:
+        """A uniformly random entry for a referral response, excluding
+        the probing peer (no point referring someone to themselves) and
+        self (the response already carries our advertisement)."""
+        picks = self.random_referrals(rng, 1, exclude)
+        return picks[0] if picks else None
+
+    def random_referrals(
+        self, rng: random.Random, count: int, exclude: Iterable[PeerID] = ()
+    ) -> List[PeerViewEntry]:
+        """Up to ``count`` distinct random entries for a referral
+        response, excluding the probing peer and self."""
+        if count <= 0:
+            return []
+        excluded = set(exclude)
+        excluded.add(self.local_peer_id)
+        candidates = [pid for pid in self._entries if pid not in excluded]
+        if not candidates:
+            return []
+        picked = (
+            candidates if len(candidates) <= count
+            else rng.sample(candidates, count)
+        )
+        return [self._entries[pid] for pid in picked]
+
+    # ------------------------------------------------------------------
+    # Property (2)
+    # ------------------------------------------------------------------
+    def is_complete(self, global_size: int) -> bool:
+        """Check this view against Property (2)'s target: ``l = g``
+        where ``g`` excludes the local peer (so ``g = r - 1``)."""
+        return self.size == global_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PeerView(local={self.local_peer_id.short()}, l={self.size})"
+        )

@@ -1,0 +1,121 @@
+"""The rendezvous propagation protocol.
+
+"The rendezvous propagation protocol enables peers to manage the
+propagation of individual messages within a group" (§3.2).  A
+propagated payload (typically a resolver query) spreads across the
+rendezvous network: each rendezvous delivers it locally and forwards
+it to the peerview members that have not seen it yet, bounded by a TTL
+and a visited list.  With consistent peerviews one forwarding round
+reaches every rendezvous; with inconsistent views the re-flood fills
+the gaps.
+
+The LC-DHT discovery path does *not* use this service (it sends
+directed resolver queries); the JXTA 1.0-style flooding baseline of
+:mod:`repro.baselines.flooding` does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.config import PlatformConfig
+from repro.endpoint.service import EndpointMessage, EndpointService
+from repro.ids.jxtaid import PeerID
+from repro.rendezvous.messages import PropagatedMessage
+from repro.rendezvous.peerview import PeerView
+from repro.resolver.messages import ResolverQuery
+from repro.resolver.service import ResolverService
+
+#: Endpoint service name for propagation traffic.
+PROPAGATE_SERVICE_NAME = "jxta.service.rdv.propagate"
+
+
+class PropagationService:
+    """Rendezvous-side propagation engine."""
+
+    def __init__(
+        self,
+        endpoint: EndpointService,
+        resolver: ResolverService,
+        view: PeerView,
+        config: PlatformConfig,
+        group_param: str,
+    ) -> None:
+        self.endpoint = endpoint
+        self.resolver = resolver
+        self.view = view
+        self.config = config
+        self.group_param = group_param
+        self.propagated = 0
+        self.received = 0
+        #: Replaces the default local delivery (resolver injection)
+        #: when a baseline wants different semantics.
+        self.local_delivery: Optional[Callable[[ResolverQuery], None]] = None
+        endpoint.add_listener(PROPAGATE_SERVICE_NAME, group_param, self._on_message)
+
+    # ------------------------------------------------------------------
+    def propagate(self, query: ResolverQuery) -> None:
+        """Originate a group-wide propagation of ``query``."""
+        wrapped = PropagatedMessage(
+            payload=query,
+            ttl=self.config.propagate_ttl,
+            visited=[self.view.local_peer_id],
+        )
+        self._deliver_local(query)
+        self._forward(wrapped)
+
+    # ------------------------------------------------------------------
+    def _deliver_local(self, query: ResolverQuery) -> None:
+        if self.local_delivery is not None:
+            self.local_delivery(query)
+        else:
+            self.resolver.inject_query(query)
+
+    def _forward(self, wrapped: PropagatedMessage) -> None:
+        if wrapped.ttl <= 0:
+            return
+        visited = set(wrapped.visited)
+        visited.add(self.view.local_peer_id)
+        targets = [
+            pid for pid in self.view.known_ids() if pid not in visited
+        ]
+        if not targets:
+            return
+        next_hop = PropagatedMessage(
+            payload=wrapped.payload,
+            ttl=wrapped.ttl - 1,
+            visited=sorted(visited | set(targets)),
+        )
+        for pid in targets:
+            entry = self.view.get(pid)
+            if entry is None or not entry.adv.route_hint:
+                continue
+            self.propagated += 1
+            self.endpoint.send_direct(
+                entry.adv.route_hint,
+                EndpointMessage(
+                    src_peer=self.endpoint.peer_id,
+                    dst_peer=pid,
+                    service_name=PROPAGATE_SERVICE_NAME,
+                    service_param=self.group_param,
+                    body=next_hop,
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    def _on_message(self, message: EndpointMessage) -> None:
+        body = message.body
+        if not isinstance(body, PropagatedMessage):
+            raise TypeError(f"unexpected propagation body: {type(body)!r}")
+        self.received += 1
+        query = body.payload
+        if isinstance(query, ResolverQuery):
+            self._deliver_local(query.hopped())
+        # re-flood towards peerview members the sender did not know
+        self._forward(
+            PropagatedMessage(
+                payload=query,
+                ttl=body.ttl,
+                visited=list(body.visited),
+            )
+        )

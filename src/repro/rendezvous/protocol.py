@@ -1,0 +1,288 @@
+"""The peerview convergence protocol — Algorithm 1 of the paper.
+
+Every rendezvous peer runs the loop below once per
+``PEERVIEW_INTERVAL`` (default 30 s)::
+
+    repeat
+        wait for PEERVIEW_INTERVAL
+        remove entries from the local peerview older than PVE_EXPIRATION
+        l = size of the local peerview
+        for rdv in {upper_rdv, lower_rdv}:
+            if l < HAPPY_SIZE:
+                probe rdv
+            else if rand() % 3 == 0:
+                update our entry in the peerview of rdv
+            else:
+                probe rdv
+        if l < HAPPY_SIZE:
+            probe initial rendezvous peers (seeds)
+    until rendezvous service is stopped
+
+Message behaviour (§3.2): a *probe* carries the sender's rendezvous
+advertisement; the receiver answers with (1) a *response* carrying its
+own advertisement and (2) a separate *referral* carrying a randomly
+chosen advertisement from its view, so the prober "may learn about a
+new rendezvous peer.  However, before adding this new rendezvous
+advertisement in its local peerview, peer A will probe peer C" — the
+referral target is probed, and only its own response installs it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.advertisement.rdvadv import RdvAdvertisement
+from repro.config import PlatformConfig
+from repro.endpoint.service import EndpointMessage, EndpointService
+from repro.ids.jxtaid import PeerID
+from repro.rendezvous.messages import (
+    PeerViewProbe,
+    PeerViewReferral,
+    PeerViewResponse,
+    PeerViewUpdate,
+)
+from repro.rendezvous.peerview import PeerView
+from repro.sim.process import PeriodicTask, Process
+
+#: Endpoint service name for peerview traffic (as in JXTA-C).
+PEERVIEW_SERVICE_NAME = "jxta.service.peerview"
+
+
+class PeerViewProtocol(Process):
+    """Algorithm 1, bound to one rendezvous peer."""
+
+    def __init__(
+        self,
+        endpoint: EndpointService,
+        config: PlatformConfig,
+        local_adv: RdvAdvertisement,
+        group_param: str,
+    ) -> None:
+        super().__init__(endpoint.sim, name=f"peerview:{local_adv.rdv_peer_id.short()}")
+        self.endpoint = endpoint
+        self.config = config
+        self.local_adv = local_adv
+        self.group_param = group_param
+        self.view = PeerView(local_adv)
+        #: outstanding probes keyed by target transport address
+        self._pending_probes: Dict[str, object] = {}
+        self._seeds_contacted = False
+        self.probes_sent = 0
+        self.updates_sent = 0
+        self.responses_sent = 0
+        self.referrals_sent = 0
+        self._task = PeriodicTask(
+            self.sim,
+            config.peerview_interval,
+            self._iteration,
+            name=self.name,
+            start_jitter=config.startup_jitter,
+            immediate=True,
+        )
+        endpoint.add_listener(PEERVIEW_SERVICE_NAME, group_param, self._on_message)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self._task.start()
+
+    def on_stop(self) -> None:
+        self._task.stop()
+        for handle in self._pending_probes.values():
+            handle.cancel()
+        self._pending_probes.clear()
+
+    # ------------------------------------------------------------------
+    # the periodic iteration (Algorithm 1 body)
+    # ------------------------------------------------------------------
+    def _iteration(self) -> None:
+        now = self.sim.now
+        self.view.expire(now, self.config.pve_expiration)
+        size = self.view.size
+        coin = self.sim.rng.stream(f"{self.name}.coin")
+        neighbors = list(self._neighbors())
+        for neighbor in neighbors:
+            if size < self.config.happy_size:
+                self._probe_peer(neighbor)
+            elif coin.randrange(3) == 0:
+                self._update_peer(neighbor)
+            else:
+                self._probe_peer(neighbor)
+        # refresh-probe members beyond the neighbours (the traffic the
+        # paper's phase-3 analysis refers to: the protocol tries to
+        # cover all entries but cannot within PVE_EXPIRATION)
+        if self.config.random_probe_count > 0:
+            rng = self.sim.rng.stream(f"{self.name}.randomprobe")
+            others = [
+                pid for pid in self.view.known_ids() if pid not in neighbors
+            ]
+            count = min(self.config.random_probe_count, len(others))
+            for pid in (others if count == len(others) else rng.sample(others, count)):
+                self._probe_peer(pid)
+        # seeds are always contacted at service start (JXTA-C connects
+        # to its seeding rendezvous at boot); afterwards Algorithm 1
+        # re-probes them only while the view is below HAPPY_SIZE
+        if size < self.config.happy_size or not self._seeds_contacted:
+            self._seeds_contacted = True
+            for seed in self.config.seeds:
+                if seed != self.endpoint.transport_address:
+                    self._probe_address(seed)
+
+    def reseed(self) -> None:
+        """Probe the configured seed rendezvous again.
+
+        Algorithm 1 contacts seeds only at boot and while the view is
+        below ``HAPPY_SIZE``, so two network halves whose cross-links
+        expired during a long partition stay split even after the WAN
+        heals — each side is "happy" on its own.  Operators (or
+        recovery logic) call this to stitch the overlay back together,
+        the equivalent of re-loading the seeding configuration on a
+        JXTA rendezvous.
+        """
+        for seed in self.config.seeds:
+            if seed != self.endpoint.transport_address:
+                self._probe_address(seed)
+
+    def _neighbors(self) -> Iterable[PeerID]:
+        """Upper and lower rendezvous, when present (ends of the sorted
+        list have only one peer to probe)."""
+        out = []
+        upper = self.view.upper_neighbor()
+        if upper is not None:
+            out.append(upper)
+        lower = self.view.lower_neighbor()
+        if lower is not None:
+            out.append(lower)
+        return out
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def _address_of(self, peer_id: PeerID) -> Optional[str]:
+        entry = self.view.get(peer_id)
+        if entry is None or not entry.adv.route_hint:
+            return None
+        return entry.adv.route_hint
+
+    def _probe_peer(self, peer_id: PeerID) -> None:
+        address = self._address_of(peer_id)
+        if address is not None:
+            self._probe_address(address, dst_peer=peer_id)
+
+    def _probe_address(
+        self,
+        address: str,
+        dst_peer: Optional[PeerID] = None,
+        verification: bool = False,
+    ) -> None:
+        """Send a probe unless one is already outstanding for this
+        address.  Verification probes (of referred peers) do not
+        solicit further referrals, bounding the referral cascade."""
+        if address in self._pending_probes:
+            return
+        self.probes_sent += 1
+        handle = self.sim.schedule(
+            self.config.probe_timeout,
+            self._probe_timed_out,
+            address,
+            label=f"{self.name}.probe_timeout",
+        )
+        self._pending_probes[address] = handle
+        self._send(
+            address, dst_peer,
+            PeerViewProbe(self.local_adv, want_referral=not verification),
+        )
+
+    def _probe_timed_out(self, address: str) -> None:
+        # The probed peer never answered (dead seed, crashed referral
+        # target).  Forget the probe; entry expiry handles stale view
+        # members.
+        self._pending_probes.pop(address, None)
+
+    def _update_peer(self, peer_id: PeerID) -> None:
+        address = self._address_of(peer_id)
+        if address is None:
+            return
+        self.updates_sent += 1
+        self._send(address, peer_id, PeerViewUpdate(self.local_adv))
+
+    def _send(self, address: str, dst_peer: Optional[PeerID], body) -> None:
+        self.endpoint.send_direct(
+            address,
+            EndpointMessage(
+                src_peer=self.endpoint.peer_id,
+                dst_peer=dst_peer,
+                service_name=PEERVIEW_SERVICE_NAME,
+                service_param=self.group_param,
+                body=body,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    def _on_message(self, message: EndpointMessage) -> None:
+        body = message.body
+        now = self.sim.now
+        if isinstance(body, PeerViewProbe):
+            self._learn(body.rdv_adv, now)
+            # (1) response with our own advertisement
+            reply_to = body.rdv_adv.route_hint or message.origin_address
+            self.responses_sent += 1
+            self._send(
+                reply_to, body.rdv_adv.rdv_peer_id,
+                PeerViewResponse(self.local_adv),
+            )
+            # (2) separate referral response with random other entries
+            if body.want_referral:
+                referrals = self.view.random_referrals(
+                    self.sim.rng.stream(f"{self.name}.referral"),
+                    self.config.referral_count,
+                    exclude=(body.rdv_adv.rdv_peer_id,),
+                )
+                if referrals:
+                    self.referrals_sent += 1
+                    self._send(
+                        reply_to, body.rdv_adv.rdv_peer_id,
+                        PeerViewReferral([entry.adv for entry in referrals]),
+                    )
+        elif isinstance(body, PeerViewResponse):
+            self._clear_pending(body.rdv_adv)
+            self._learn(body.rdv_adv, now)
+        elif isinstance(body, PeerViewUpdate):
+            self._learn(body.rdv_adv, now)
+        elif isinstance(body, PeerViewReferral):
+            for adv in body.rdv_advs:
+                self._on_referral(adv, now)
+        else:
+            raise TypeError(f"unexpected peerview body: {type(body)!r}")
+
+    def _clear_pending(self, adv: RdvAdvertisement) -> None:
+        handle = self._pending_probes.pop(adv.route_hint, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _learn(self, adv: RdvAdvertisement, now: float) -> None:
+        """Insert/refresh an advertisement received *from the peer it
+        describes* and teach ERP the direct route."""
+        outcome = self.view.upsert(adv, now)
+        if outcome != "self" and adv.route_hint:
+            self.endpoint.router.add_route(adv.rdv_peer_id, [adv.route_hint])
+
+    def _on_referral(self, adv: RdvAdvertisement, now: float) -> None:
+        peer_id = adv.rdv_peer_id
+        if peer_id == self.view.local_peer_id:
+            return
+        if peer_id in self.view:
+            # hearsay about a peer we already track: a referral is a
+            # copy from the referrer's view, not proof of liveness, so
+            # it does NOT refresh the entry's expiration clock — only
+            # messages from the peer itself do.  (This is what lets
+            # entries expire faster than the protocol can re-probe
+            # them, producing the paper's phase 2/3 behaviour.)
+            return
+        # unknown peer: probe before adding (§3.2); a verification
+        # probe, so the cascade stops at the referred peer
+        if adv.route_hint:
+            self._probe_address(adv.route_hint, dst_peer=peer_id, verification=True)

@@ -1,0 +1,24 @@
+"""Peer resolver protocol.
+
+"On top of the rendezvous protocol, JXTA uses a standardized
+query/response protocol: the resolver protocol.  It provides a
+generic, topology-independent query/response interface which other
+higher-level services may use" (§3.1).  The discovery service of
+:mod:`repro.discovery` is exactly such a client: its queries,
+responses and SRDI index pushes all travel as resolver messages.
+"""
+
+from repro.resolver.messages import (
+    ResolverQuery,
+    ResolverResponse,
+    ResolverSrdiMessage,
+)
+from repro.resolver.service import QueryHandler, ResolverService
+
+__all__ = [
+    "QueryHandler",
+    "ResolverQuery",
+    "ResolverResponse",
+    "ResolverSrdiMessage",
+    "ResolverService",
+]

@@ -1,0 +1,59 @@
+"""Simulated clock and time-unit helpers.
+
+All simulation time is expressed in *seconds* as a ``float``.  The unit
+constants below make protocol constants read like the paper's prose::
+
+    PEERVIEW_INTERVAL = 30 * SECONDS
+    PVE_EXPIRATION = 20 * MINUTES
+"""
+
+from __future__ import annotations
+
+SECONDS: float = 1.0
+MILLISECONDS: float = 1e-3
+MICROSECONDS: float = 1e-6
+MINUTES: float = 60.0
+HOURS: float = 3600.0
+
+
+def format_time(t: float) -> str:
+    """Render a simulation time compactly for logs (``"17m03.250s"``)."""
+    if t < 0:
+        return "-" + format_time(-t)
+    minutes, rem = divmod(t, 60.0)
+    if minutes >= 1:
+        return f"{int(minutes)}m{rem:06.3f}s"
+    if rem >= 1:
+        return f"{rem:.3f}s"
+    return f"{rem * 1e3:.3f}ms"
+
+
+class Clock:
+    """Monotonic simulated clock owned by a :class:`~repro.sim.kernel.Simulator`.
+
+    The clock can only be advanced by the simulator's event loop; user
+    code reads it via :attr:`now`.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start before t=0 (got {start})")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    def _advance_to(self, t: float) -> None:
+        """Advance the clock (kernel-internal; never goes backwards)."""
+        if t < self._now:
+            raise ValueError(
+                f"clock cannot go backwards: now={self._now}, target={t}"
+            )
+        self._now = t
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={format_time(self._now)})"

@@ -1,0 +1,17 @@
+"""Exception hierarchy for the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled incorrectly (e.g. in the past)."""
+
+
+class EventCancelled(SimulationError):
+    """An operation was attempted on a cancelled event handle."""
+
+
+class SimulationLimitExceeded(SimulationError):
+    """The run exceeded a configured safety limit (events or time)."""

@@ -1,0 +1,103 @@
+"""Integration: peer lifecycle — restarts, failover, state loss."""
+
+from repro.advertisement import FakeAdvertisement
+from repro.config import PlatformConfig
+from repro.deploy import OverlayDescription, build_overlay
+from repro.network import Network
+from repro.sim import MINUTES, SECONDS, Simulator
+
+
+def build(r=8, e=2, attachment=None, seed=3, **overrides):
+    sim = Simulator(seed=seed)
+    network = Network(sim)
+    config = PlatformConfig().with_overrides(**overrides)
+    overlay = build_overlay(
+        sim, network, config,
+        OverlayDescription(
+            rendezvous_count=r, edge_count=e, edge_attachment=attachment
+        ),
+    )
+    overlay.start()
+    return sim, overlay
+
+
+class TestRendezvousRestart:
+    def test_crashed_rdv_rejoins_after_restart(self):
+        sim, overlay = build(pve_expiration=5 * MINUTES)
+        sim.run(until=10 * MINUTES)
+        victim = overlay.rendezvous[3]
+        victim.crash()
+        assert victim.view.size == 0  # crash loses the peerview
+        sim.run(until=sim.now + 10 * MINUTES)
+        victim.start()
+        sim.run(until=sim.now + 15 * MINUTES)
+        # the restarted peer reconverges into everyone's views
+        assert victim.view.size > 0
+        for rdv in overlay.rendezvous:
+            if rdv is not victim:
+                assert victim.peer_id in rdv.view, rdv.name
+
+    def test_crash_clears_srdi(self):
+        sim, overlay = build(e=2, attachment=[0, 1])
+        sim.run(until=10 * MINUTES)
+        overlay.edges[0].discovery.publish(FakeAdvertisement("gone"))
+        sim.run(until=sim.now + 2 * MINUTES)
+        rdv = overlay.rendezvous[0]
+        assert len(rdv.discovery.srdi) > 0
+        rdv.crash()
+        assert len(rdv.discovery.srdi) == 0
+
+
+class TestEdgeFailover:
+    def test_edge_rebinds_and_republishes_after_rdv_crash(self):
+        sim, overlay = build(r=4, e=0, lease_request_timeout=5 * SECONDS)
+        # one edge with two seeds, in priority order
+        edge = overlay.group.create_edge(
+            overlay.rendezvous[0].node,
+            seeds=[overlay.rendezvous[0].address, overlay.rendezvous[1].address],
+        )
+        edge.start()
+        sim.run(until=10 * MINUTES)
+        edge.discovery.publish(FakeAdvertisement("portable"))
+        sim.run(until=sim.now + 2 * MINUTES)
+        assert edge.lease_client.rdv_peer_id == overlay.rendezvous[0].peer_id
+
+        overlay.rendezvous[0].crash()
+        sim.run(until=sim.now + 10 * MINUTES)
+        # failover to the second seed...
+        assert edge.lease_client.rdv_peer_id == overlay.rendezvous[1].peer_id
+        # ...and the SRDI index was re-published to the new rendezvous
+        key = ("repro:FakeAdvertisement", "Name", "portable")
+        assert overlay.rendezvous[1].discovery.srdi.lookup(key, sim.now)
+
+    def test_discovery_works_after_failover(self):
+        sim, overlay = build(r=4, e=1, attachment=[2], lease_request_timeout=5 * SECONDS)
+        edge = overlay.group.create_edge(
+            overlay.rendezvous[0].node,
+            seeds=[overlay.rendezvous[0].address, overlay.rendezvous[1].address],
+        )
+        edge.start()
+        sim.run(until=10 * MINUTES)
+        edge.discovery.publish(FakeAdvertisement("resilient"))
+        sim.run(until=sim.now + 2 * MINUTES)
+        overlay.rendezvous[0].crash()
+        sim.run(until=sim.now + 10 * MINUTES)
+
+        results = []
+        overlay.edges[0].discovery.get_remote_advertisements(
+            "repro:FakeAdvertisement", "Name", "resilient",
+            callback=lambda advs, lat: results.append(advs),
+        )
+        sim.run(until=sim.now + 1 * MINUTES)
+        assert len(results) == 1
+
+
+class TestGracefulStop:
+    def test_stop_all_quiesces_the_network(self):
+        sim, overlay = build()
+        sim.run(until=10 * MINUTES)
+        overlay.stop()
+        sim.run(until=sim.now + 1 * MINUTES)
+        before = overlay.group.network.stats.messages_sent
+        sim.run(until=sim.now + 10 * MINUTES)
+        assert overlay.group.network.stats.messages_sent == before

@@ -1,0 +1,64 @@
+"""Property-based tests: advertisement cache vs a reference model."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.advertisement import AdvertisementCache, FakeAdvertisement
+
+names = st.sampled_from([f"adv-{i}" for i in range(8)])
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("publish"), names, st.floats(1.0, 100.0)),
+        st.tuples(st.just("remote"), names, st.floats(1.0, 100.0)),
+        st.tuples(st.just("remove"), names),
+        st.tuples(st.just("advance"), st.floats(0.0, 50.0)),
+        st.tuples(st.just("purge"),),
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+@given(ops)
+def test_cache_matches_reference_model(operations):
+    cache = AdvertisementCache()
+    model = {}  # name -> (expires_at, local)
+    now = 0.0
+    for op in operations:
+        kind = op[0]
+        if kind == "publish":
+            _, name, lifetime = op
+            cache.publish(FakeAdvertisement(name), now, lifetime=lifetime)
+            model[name] = (now + lifetime, True)
+        elif kind == "remote":
+            _, name, expiration = op
+            cache.store_remote(FakeAdvertisement(name), now, expiration)
+            existing = model.get(name)
+            if existing is None or not existing[1] or existing[0] <= now:
+                model[name] = (now + expiration, False)
+        elif kind == "remove":
+            _, name = op
+            removed = cache.remove(FakeAdvertisement(name))
+            assert removed == (name in model)
+            model.pop(name, None)
+        elif kind == "advance":
+            now += op[1]
+        else:
+            cache.purge_expired(now)
+            model = {n: v for n, v in model.items() if v[0] > now}
+
+        # live lookups agree with the model at every step
+        for name in [f"adv-{i}" for i in range(8)]:
+            entry = cache.get(FakeAdvertisement(name), now)
+            alive_in_model = name in model and model[name][0] > now
+            assert (entry is not None) == alive_in_model, (name, now)
+
+
+@given(st.lists(names, min_size=0, max_size=20))
+def test_search_finds_exactly_live_published_names(published):
+    cache = AdvertisementCache()
+    for name in published:
+        cache.publish(FakeAdvertisement(name), now=0.0, lifetime=100.0)
+    found = cache.search("repro:FakeAdvertisement", "Name", "adv-*", now=1.0)
+    assert sorted(a.name for a in found) == sorted(set(published))

@@ -1,0 +1,59 @@
+"""Property-based tests: Chord ring arithmetic and static wiring."""
+
+import bisect
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.chord import (
+    ChordRing,
+    M,
+    RING,
+    in_half_open_interval,
+    in_open_interval,
+)
+from repro.network import Network
+from repro.network.site import place_nodes
+from repro.sim import Simulator
+
+ring_points = st.integers(min_value=0, max_value=RING - 1)
+
+
+@given(ring_points, ring_points, ring_points)
+def test_open_interval_partition(x, a, b):
+    # for a != b, every x other than the endpoints is in exactly one of
+    # (a, b) and (b, a)
+    if a == b or x in (a, b):
+        return
+    assert in_open_interval(x, a, b) != in_open_interval(x, b, a)
+
+
+@given(ring_points, ring_points)
+def test_half_open_includes_exactly_upper_endpoint(a, b):
+    if a == b:
+        return
+    assert in_half_open_interval(b, a, b)
+    assert not in_half_open_interval(a, a, b)
+
+
+@given(ring_points, ring_points, ring_points)
+def test_half_open_equals_open_plus_endpoint(x, a, b):
+    if a == b:
+        return
+    expected = in_open_interval(x, a, b) or x == b
+    assert in_half_open_interval(x, a, b) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=24))
+def test_static_ring_fingers_are_true_successors(n):
+    sim = Simulator(seed=1)
+    network = Network(sim)
+    ring = ChordRing(sim, network, place_nodes(n), static_build=True)
+    keys = [m.key for m in ring.members]
+    for member in ring.members:
+        for i, finger in enumerate(member.fingers):
+            start = (member.key + 2**i) % RING
+            index = bisect.bisect_left(keys, start) % n
+            assert finger == (ring.members[index].address, keys[index])
+    assert ring.is_correct()

@@ -1,0 +1,38 @@
+"""Property-based tests: JXTA ID total order and URN codec."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ids import NET_PEER_GROUP_ID, PeerID
+
+ints = st.integers(min_value=0, max_value=2**128 - 1)
+
+
+@given(ints, ints)
+def test_order_matches_integer_order(a, b):
+    pa = PeerID.from_int(NET_PEER_GROUP_ID, a)
+    pb = PeerID.from_int(NET_PEER_GROUP_ID, b)
+    assert (pa < pb) == (a < b)
+    assert (pa == pb) == (a == b)
+
+
+@given(st.lists(ints, min_size=0, max_size=50))
+def test_sorting_ids_sorts_their_integers(values):
+    ids = [PeerID.from_int(NET_PEER_GROUP_ID, v) for v in values]
+    sorted_ints = [
+        int.from_bytes(p.unique_value, "big") for p in sorted(ids)
+    ]
+    assert sorted_ints == sorted(values)
+
+
+@given(st.binary(min_size=16, max_size=16))
+def test_urn_roundtrip(unique):
+    pid = PeerID.from_parts(NET_PEER_GROUP_ID, unique)
+    assert PeerID.from_urn(pid.urn()) == pid
+
+
+@given(ints)
+def test_hash_consistent_with_equality(n):
+    a = PeerID.from_int(NET_PEER_GROUP_ID, n)
+    b = PeerID.from_int(NET_PEER_GROUP_ID, n)
+    assert a == b and hash(a) == hash(b)

@@ -1,0 +1,121 @@
+"""Property-based tests: peerview ordering and expiry invariants.
+
+A model-based test drives a PeerView with random upsert/remove/expire
+operations and checks it against a plain-dict reference model.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.advertisement.rdvadv import RdvAdvertisement
+from repro.ids import NET_PEER_GROUP_ID, PeerID
+from repro.rendezvous.peerview import PeerView
+
+LOCAL = 500
+
+
+def adv(n):
+    return RdvAdvertisement(
+        rdv_peer_id=PeerID.from_int(NET_PEER_GROUP_ID, n),
+        group_id=NET_PEER_GROUP_ID,
+        route_hint=f"tcp://h{n}:1",
+    )
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("upsert"), st.integers(0, 999)),
+        st.tuples(st.just("remove"), st.integers(0, 999)),
+        st.tuples(st.just("expire"), st.floats(1.0, 100.0)),
+    ),
+    min_size=0,
+    max_size=80,
+)
+
+
+@given(ops)
+def test_peerview_matches_reference_model(operations):
+    view = PeerView(adv(LOCAL))
+    model = {}  # int id -> last_refreshed
+    now = 0.0
+    pve = 50.0
+    for op in operations:
+        now += 1.0
+        if op[0] == "upsert":
+            n = op[1]
+            view.upsert(adv(n), now)
+            if n != LOCAL:
+                model[n] = now
+        elif op[0] == "remove":
+            n = op[1]
+            removed = view.remove(
+                PeerID.from_int(NET_PEER_GROUP_ID, n), now
+            )
+            assert removed == (n in model)
+            model.pop(n, None)
+        else:
+            now += op[1]
+            view.expire(now, pve)
+            model = {
+                n: t for n, t in model.items() if now - t <= pve
+            }
+
+        # invariants after every operation
+        expected_ids = sorted(model.keys() | {LOCAL})
+        actual_ids = [
+            int.from_bytes(p.unique_value, "big") for p in view.ordered_ids()
+        ]
+        assert actual_ids == expected_ids
+        assert view.size == len(model)
+        assert view.member_count() == len(model) + 1
+
+
+@given(st.sets(st.integers(0, 999), min_size=0, max_size=60))
+def test_neighbors_match_sorted_order(members):
+    view = PeerView(adv(LOCAL))
+    for n in members:
+        view.upsert(adv(n), 0.0)
+    all_ids = sorted(set(members) | {LOCAL})
+    index = all_ids.index(LOCAL)
+
+    upper = view.upper_neighbor()
+    lower = view.lower_neighbor()
+    if index + 1 < len(all_ids):
+        assert int.from_bytes(upper.unique_value, "big") == all_ids[index + 1]
+    else:
+        assert upper is None
+    if index > 0:
+        assert int.from_bytes(lower.unique_value, "big") == all_ids[index - 1]
+    else:
+        assert lower is None
+
+
+@given(
+    st.sets(st.integers(0, 999), min_size=1, max_size=60),
+    st.integers(0, 59),
+)
+def test_rank_and_id_at_are_inverse(members, k):
+    view = PeerView(adv(LOCAL))
+    for n in members:
+        view.upsert(adv(n), 0.0)
+    count = view.member_count()
+    rank = k % count
+    assert view.rank_of(view.id_at(rank)) == rank
+
+
+@given(st.sets(st.integers(0, 999), min_size=0, max_size=40), st.integers(0, 2**32))
+def test_referrals_never_include_self_or_prober(members, seed):
+    import random
+
+    view = PeerView(adv(LOCAL))
+    for n in members:
+        view.upsert(adv(n), 0.0)
+    members_list = sorted(members - {LOCAL})
+    prober = PeerID.from_int(
+        NET_PEER_GROUP_ID, members_list[0] if members_list else 7
+    )
+    picks = view.random_referrals(random.Random(seed), 3, exclude=(prober,))
+    for entry in picks:
+        assert entry.peer_id != view.local_peer_id
+        assert entry.peer_id != prober
+    assert len({e.peer_id for e in picks}) == len(picks)

@@ -1,0 +1,41 @@
+"""Property-based tests: ReplicaPeer function invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.discovery.replica import ReplicaFunction, SHA1_MAX_HASH
+
+texts = st.text(min_size=0, max_size=40)
+tuples_ = st.tuples(texts, texts, texts)
+counts = st.integers(min_value=1, max_value=1000)
+
+
+@given(tuples_, counts)
+def test_rank_always_within_view(index_tuple, count):
+    fn = ReplicaFunction()
+    assert 0 <= fn.rank(index_tuple, count) < count
+
+
+@given(tuples_, counts, counts)
+def test_rank_scales_monotonically_with_member_count(index_tuple, c1, c2):
+    # the same hash maps to the same *quantile*: a bigger view can only
+    # move the rank up, proportionally
+    fn = ReplicaFunction()
+    lo, hi = sorted((c1, c2))
+    assert fn.rank(index_tuple, lo) <= fn.rank(index_tuple, hi)
+
+
+@given(tuples_)
+def test_identical_views_agree_on_replica(index_tuple):
+    # the LC-DHT's core soundness property: peers with equal peerviews
+    # compute equal replica ranks (Property (2) => O(1) lookup)
+    a, b = ReplicaFunction(), ReplicaFunction()
+    for count in (1, 6, 50, 580):
+        assert a.rank(index_tuple, count) == b.rank(index_tuple, count)
+
+
+@given(st.integers(0, SHA1_MAX_HASH - 1), counts)
+def test_rank_formula_matches_paper(hash_value, count):
+    fn = ReplicaFunction(hash_fn=lambda key: hash_value)
+    expected = hash_value * count // SHA1_MAX_HASH
+    assert fn.rank(("t", "a", "v"), count) == expected

@@ -1,0 +1,84 @@
+"""Property-based tests: simulation kernel invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=0,
+    max_size=60,
+)
+
+
+@given(delays)
+def test_events_fire_in_nondecreasing_time_order(ds):
+    sim = Simulator()
+    fired = []
+    for d in ds:
+        sim.schedule(d, lambda d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(ds)
+
+
+@given(delays)
+def test_equal_times_fire_in_schedule_order(ds):
+    sim = Simulator()
+    fired = []
+    for i, d in enumerate(ds):
+        sim.schedule(d, fired.append, (d, i))
+    sim.run()
+    # stable sort by time must preserve submission order on ties
+    assert fired == sorted(fired, key=lambda pair: pair[0])
+
+
+@given(
+    delays,
+    st.lists(
+        st.floats(min_value=0.0, max_value=2e6, allow_nan=False),
+        min_size=1,
+        max_size=5,
+    ),
+)
+def test_sliced_runs_equal_single_run(ds, cuts):
+    def build():
+        sim = Simulator()
+        out = []
+        for i, d in enumerate(ds):
+            sim.schedule(d, out.append, (d, i))
+        return sim, out
+
+    s1, out1 = build()
+    s1.run()
+
+    s2, out2 = build()
+    for cut in sorted(cuts):
+        s2.run(until=cut)
+    s2.run()
+    assert out1 == out2
+
+
+@given(delays, st.integers(min_value=0, max_value=59))
+def test_cancellation_removes_exactly_one_event(ds, index):
+    if not ds:
+        return
+    index = index % len(ds)
+    sim = Simulator()
+    fired = []
+    handles = [sim.schedule(d, fired.append, i) for i, d in enumerate(ds)]
+    handles[index].cancel()
+    sim.run()
+    assert len(fired) == len(ds) - 1
+    assert index not in fired
+
+
+@given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+def test_clock_never_runs_backwards(d):
+    sim = Simulator()
+    seen = []
+    sim.schedule(d, lambda: seen.append(sim.now))
+    sim.schedule(d / 2, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == sorted(seen)

@@ -1,0 +1,70 @@
+"""Property-based tests: the SRDI index vs a reference model."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.discovery.srdi import SrdiIndex
+from repro.ids import NET_PEER_GROUP_ID, PeerID
+
+TUPLES = [("T", "Name", f"v{i}") for i in range(4)]
+PUBLISHERS = [PeerID.from_int(NET_PEER_GROUP_ID, n) for n in range(4)]
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("add"),
+            st.integers(0, 3),  # tuple index
+            st.integers(0, 3),  # publisher index
+            st.floats(1.0, 50.0),  # expiration
+        ),
+        st.tuples(st.just("advance"), st.floats(0.0, 30.0)),
+        st.tuples(st.just("remove_pub"), st.integers(0, 3)),
+        st.tuples(st.just("purge"),),
+        st.tuples(st.just("clear"),),
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+@given(ops)
+def test_srdi_index_matches_reference_model(operations):
+    index = SrdiIndex()
+    model = {}  # (tuple idx, publisher idx) -> expires_at
+    now = 0.0
+    for op in operations:
+        kind = op[0]
+        if kind == "add":
+            _, t, p, expiration = op
+            index.add(
+                TUPLES[t], PUBLISHERS[p], f"tcp://e{p}:1", now, expiration
+            )
+            model[(t, p)] = now + expiration
+        elif kind == "advance":
+            now += op[1]
+        elif kind == "remove_pub":
+            p = op[1]
+            dropped = index.remove_publisher(PUBLISHERS[p])
+            expected = sum(1 for (_, mp) in model if mp == p)
+            assert dropped == expected
+            model = {k: v for k, v in model.items() if k[1] != p}
+        elif kind == "purge":
+            index.purge_expired(now)
+            model = {k: v for k, v in model.items() if v > now}
+        else:
+            index.clear()
+            model = {}
+
+        # live lookups agree with the model after every operation
+        for t in range(4):
+            live = {
+                r.publisher for r in index.lookup(TUPLES[t], now)
+            }
+            expected_pubs = {
+                PUBLISHERS[p]
+                for (mt, p), exp in model.items()
+                if mt == t and exp > now
+            }
+            assert live == expected_pubs, (t, now)
+        # the stored count never under-counts the live records
+        assert len(index) >= sum(1 for v in model.values() if v > now)

@@ -1,0 +1,139 @@
+"""Unit tests for advertisement types and the XML codec."""
+
+import random
+
+import pytest
+
+from repro.advertisement import (
+    FakeAdvertisement,
+    PeerAdvertisement,
+    PipeAdvertisement,
+    RdvAdvertisement,
+    RouteAdvertisement,
+    UnknownAdvertisementType,
+    parse_advertisement,
+)
+from repro.advertisement.pipeadv import PIPE_TYPE_PROPAGATE
+from repro.ids import IDFactory, NET_PEER_GROUP_ID
+
+
+@pytest.fixture
+def factory():
+    return IDFactory(random.Random(7))
+
+
+class TestPeerAdvertisement:
+    def test_roundtrip(self, factory):
+        adv = PeerAdvertisement(
+            factory.new_peer_id(), NET_PEER_GROUP_ID, "Test", desc="hello"
+        )
+        parsed = parse_advertisement(adv.to_xml())
+        assert parsed == adv
+        assert isinstance(parsed, PeerAdvertisement)
+
+    def test_index_tuples_include_name(self, factory):
+        adv = PeerAdvertisement(factory.new_peer_id(), NET_PEER_GROUP_ID, "Test")
+        tuples = adv.index_tuples()
+        assert ("jxta:PA", "Name", "Test") in tuples
+        assert any(attr == "PID" for _, attr, _ in tuples)
+
+    def test_paper_example_tuple(self, factory):
+        # §3.3: type Peer + attribute Name + value Test
+        adv = PeerAdvertisement(factory.new_peer_id(), NET_PEER_GROUP_ID, "Test")
+        assert ("jxta:PA", "Name", "Test") in adv.index_tuples()
+
+    def test_unique_key_is_per_peer(self, factory):
+        pid = factory.new_peer_id()
+        a = PeerAdvertisement(pid, NET_PEER_GROUP_ID, "name-1")
+        b = PeerAdvertisement(pid, NET_PEER_GROUP_ID, "name-2")
+        assert a.unique_key() == b.unique_key()
+
+    def test_size_bytes_positive_and_realistic(self, factory):
+        adv = PeerAdvertisement(factory.new_peer_id(), NET_PEER_GROUP_ID, "Test")
+        assert 100 < adv.size_bytes() < 4096
+
+
+class TestRdvAdvertisement:
+    def test_roundtrip(self, factory):
+        adv = RdvAdvertisement(
+            factory.new_peer_id(),
+            NET_PEER_GROUP_ID,
+            name="rdv-1",
+            route_hint="tcp://rennes-0:9701",
+        )
+        parsed = parse_advertisement(adv.to_xml())
+        assert parsed == adv
+        assert parsed.route_hint == "tcp://rennes-0:9701"
+
+    def test_unique_key_per_peer_and_group(self, factory):
+        pid = factory.new_peer_id()
+        a = RdvAdvertisement(pid, NET_PEER_GROUP_ID, name="x")
+        b = RdvAdvertisement(pid, NET_PEER_GROUP_ID, name="y")
+        assert a.unique_key() == b.unique_key()
+
+
+class TestRouteAdvertisement:
+    def test_roundtrip_multi_hop(self, factory):
+        adv = RouteAdvertisement(
+            factory.new_peer_id(), ["tcp://a:1", "tcp://b:2"]
+        )
+        parsed = parse_advertisement(adv.to_xml())
+        assert parsed.hops == ["tcp://a:1", "tcp://b:2"]
+        assert parsed.first_hop == "tcp://a:1"
+        assert parsed.last_hop == "tcp://b:2"
+
+    def test_empty_route_rejected(self, factory):
+        with pytest.raises(ValueError):
+            RouteAdvertisement(factory.new_peer_id(), [])
+
+
+class TestPipeAdvertisement:
+    def test_roundtrip(self, factory):
+        adv = PipeAdvertisement(
+            factory.new_pipe_id(), "juxmem-data", PIPE_TYPE_PROPAGATE
+        )
+        parsed = parse_advertisement(adv.to_xml())
+        assert parsed == adv
+
+    def test_unknown_pipe_type_rejected(self, factory):
+        with pytest.raises(ValueError):
+            PipeAdvertisement(factory.new_pipe_id(), "x", "JxtaBogus")
+
+
+class TestFakeAdvertisement:
+    def test_roundtrip(self):
+        adv = FakeAdvertisement("fake-17", payload="x" * 100)
+        assert parse_advertisement(adv.to_xml()) == adv
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            FakeAdvertisement("")
+
+    def test_payload_inflates_size(self):
+        small = FakeAdvertisement("n")
+        big = FakeAdvertisement("n", payload="y" * 1000)
+        assert big.size_bytes() > small.size_bytes() + 900
+
+
+class TestCodec:
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(ValueError):
+            parse_advertisement("<unclosed>")
+
+    def test_missing_type_attribute_rejected(self):
+        with pytest.raises(ValueError):
+            parse_advertisement("<doc><Name>x</Name></doc>")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(UnknownAdvertisementType):
+            parse_advertisement('<doc type="jxta:Nope"><a>b</a></doc>')
+
+    def test_xml_declaration_present(self, factory):
+        adv = PeerAdvertisement(factory.new_peer_id(), NET_PEER_GROUP_ID, "T")
+        assert adv.to_xml().startswith('<?xml version="1.0"?>')
+
+    def test_eq_and_hash_consistent(self, factory):
+        pid = factory.new_peer_id()
+        a = PeerAdvertisement(pid, NET_PEER_GROUP_ID, "T")
+        b = PeerAdvertisement(pid, NET_PEER_GROUP_ID, "T")
+        assert a == b and hash(a) == hash(b)

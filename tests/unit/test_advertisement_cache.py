@@ -1,0 +1,141 @@
+"""Unit tests for the local advertisement cache."""
+
+import pytest
+
+from repro.advertisement import AdvertisementCache, FakeAdvertisement
+
+
+def adv(name, payload=""):
+    return FakeAdvertisement(name, payload)
+
+
+class TestPublish:
+    def test_publish_and_get(self):
+        cache = AdvertisementCache()
+        a = adv("x")
+        cache.publish(a, now=0.0, lifetime=100.0)
+        assert cache.get(a, now=50.0).adv == a
+        assert a in cache
+
+    def test_lifetime_expiry(self):
+        cache = AdvertisementCache()
+        a = adv("x")
+        cache.publish(a, now=0.0, lifetime=100.0)
+        assert cache.get(a, now=100.0) is None
+
+    def test_republish_resets_expiry(self):
+        cache = AdvertisementCache()
+        a = adv("x")
+        cache.publish(a, now=0.0, lifetime=100.0)
+        cache.publish(a, now=90.0, lifetime=100.0)
+        assert cache.get(a, now=150.0) is not None
+        assert len(cache) == 1
+
+    def test_nonpositive_lifetime_rejected(self):
+        with pytest.raises(ValueError):
+            AdvertisementCache().publish(adv("x"), now=0.0, lifetime=0.0)
+
+
+class TestRemote:
+    def test_store_remote_uses_expiration(self):
+        cache = AdvertisementCache()
+        a = adv("x")
+        cache.store_remote(a, now=0.0, expiration=10.0)
+        assert cache.get(a, now=5.0) is not None
+        assert cache.get(a, now=10.0) is None
+
+    def test_remote_does_not_clobber_local(self):
+        cache = AdvertisementCache()
+        a = adv("x")
+        cache.publish(a, now=0.0, lifetime=1000.0)
+        entry = cache.store_remote(a, now=1.0, expiration=10.0)
+        assert entry.local
+        assert cache.get(a, now=500.0) is not None
+
+    def test_remote_replaces_expired_local(self):
+        cache = AdvertisementCache()
+        a = adv("x")
+        cache.publish(a, now=0.0, lifetime=10.0)
+        entry = cache.store_remote(a, now=20.0, expiration=10.0)
+        assert not entry.local
+
+    def test_nonpositive_expiration_rejected(self):
+        with pytest.raises(ValueError):
+            AdvertisementCache().store_remote(adv("x"), now=0.0, expiration=0.0)
+
+
+class TestMaintenance:
+    def test_purge_expired(self):
+        cache = AdvertisementCache()
+        cache.publish(adv("a"), now=0.0, lifetime=10.0)
+        cache.publish(adv("b"), now=0.0, lifetime=100.0)
+        dropped = cache.purge_expired(now=50.0)
+        assert dropped == 1
+        assert len(cache) == 1
+        assert cache.purged == 1
+
+    def test_flush_clears_everything(self):
+        cache = AdvertisementCache()
+        for i in range(5):
+            cache.publish(adv(f"a{i}"), now=0.0)
+        assert cache.flush() == 5
+        assert len(cache) == 0
+
+    def test_remove(self):
+        cache = AdvertisementCache()
+        a = adv("x")
+        cache.publish(a, now=0.0)
+        assert cache.remove(a)
+        assert not cache.remove(a)
+
+
+class TestSearch:
+    def _loaded(self):
+        cache = AdvertisementCache()
+        cache.publish(adv("alpha"), now=0.0, lifetime=1000.0)
+        cache.publish(adv("alphabet"), now=0.0, lifetime=1000.0)
+        cache.publish(adv("beta"), now=0.0, lifetime=1000.0)
+        return cache
+
+    def test_exact_match(self):
+        found = self._loaded().search(
+            "repro:FakeAdvertisement", "Name", "alpha", now=1.0
+        )
+        assert [a.name for a in found] == ["alpha"]
+
+    def test_wildcard_match(self):
+        found = self._loaded().search(
+            "repro:FakeAdvertisement", "Name", "alpha*", now=1.0
+        )
+        assert sorted(a.name for a in found) == ["alpha", "alphabet"]
+
+    def test_type_only_query(self):
+        found = self._loaded().search(
+            "repro:FakeAdvertisement", None, None, now=1.0
+        )
+        assert len(found) == 3
+
+    def test_any_type_query(self):
+        found = self._loaded().search(None, None, None, now=1.0)
+        assert len(found) == 3
+
+    def test_wrong_type_returns_nothing(self):
+        assert self._loaded().search("jxta:PA", "Name", "alpha", now=1.0) == []
+
+    def test_expired_excluded_from_search(self):
+        cache = AdvertisementCache()
+        cache.publish(adv("x"), now=0.0, lifetime=10.0)
+        assert cache.search(None, None, None, now=20.0) == []
+
+    def test_limit(self):
+        found = self._loaded().search(
+            "repro:FakeAdvertisement", None, None, now=1.0, limit=2
+        )
+        assert len(found) == 2
+
+    def test_entries_iterator_filters_by_now(self):
+        cache = AdvertisementCache()
+        cache.publish(adv("a"), now=0.0, lifetime=10.0)
+        cache.publish(adv("b"), now=0.0, lifetime=100.0)
+        assert len(list(cache.entries(now=50.0))) == 1
+        assert len(list(cache.entries())) == 2

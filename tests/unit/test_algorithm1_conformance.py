@@ -1,0 +1,184 @@
+"""Conformance tests: Algorithm 1, line by line.
+
+Each test pins one line of the paper's pseudo-code against the
+implementation's observable behaviour, using the message tracer where
+the behaviour is a wire action.
+"""
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.deploy import OverlayDescription, build_overlay
+from repro.network import Network
+from repro.rendezvous.messages import PeerViewProbe, PeerViewUpdate
+from repro.sim import MINUTES, SECONDS, Simulator
+from repro.sim.tracing import MessageTracer
+
+
+def build(r=6, seed=2, **overrides):
+    sim = Simulator(seed=seed)
+    network = Network(sim)
+    config = PlatformConfig().with_overrides(**overrides)
+    overlay = build_overlay(
+        sim, network, config, OverlayDescription(rendezvous_count=r)
+    )
+    return sim, network, overlay
+
+
+class TestLine2_Wait:
+    """`wait for PEERVIEW_INTERVAL` — the loop period is respected."""
+
+    def test_iteration_period(self):
+        sim, network, overlay = build(r=2, startup_jitter=0.0)
+        overlay.start()
+        rdv = overlay.rendezvous[1]  # has a seed to probe
+        sim.run(until=10 * MINUTES)
+        # immediate first tick + one per 30 s
+        expected = 1 + int(10 * MINUTES // (30 * SECONDS))
+        assert rdv.peerview_protocol._task.ticks == pytest.approx(expected, abs=1)
+
+
+class TestLine3_Expiry:
+    """`remove entries ... for which time > PVE_EXPIRATION`."""
+
+    def test_stale_entry_removed_on_next_iteration(self):
+        sim, network, overlay = build(r=2, pve_expiration=2 * MINUTES)
+        overlay.start()
+        sim.run(until=1 * MINUTES)
+        a, b = overlay.rendezvous
+        assert b.peer_id in a.view
+        b.crash()  # b stops refreshing a's entry
+        sim.run(until=6 * MINUTES)
+        assert b.peer_id not in a.view
+
+
+class TestLines5to12_NeighborBranch:
+    """`for rdv in {upper_rdv, lower_rdv}: ...` with the rand()%3 coin."""
+
+    def test_update_fraction_is_about_one_third_when_happy(self):
+        sim, network, overlay = build(r=8)
+        tracer = MessageTracer(
+            network, payload_types=("PeerViewProbe", "PeerViewUpdate")
+        )
+        overlay.start()
+        sim.run(until=60 * MINUTES)
+        updates = tracer.count("PeerViewUpdate")
+        probes = tracer.count("PeerViewProbe")
+        # neighbour traffic: probes also include verification/refresh
+        # probes, so bound the ratio from the update side: updates are
+        # sent only on the 1/3 branch of the neighbour loop
+        neighbor_actions_lower_bound = updates * 3 * 0.6
+        assert updates > 0
+        assert probes > neighbor_actions_lower_bound / 3
+
+    def test_no_updates_below_happy_size(self):
+        # a 2-peer overlay never reaches HAPPY_SIZE=4: the l <
+        # HAPPY_SIZE branch always probes, never updates
+        sim, network, overlay = build(r=2)
+        tracer = MessageTracer(network, payload_types=("PeerViewUpdate",))
+        overlay.start()
+        sim.run(until=30 * MINUTES)
+        assert tracer.count("PeerViewUpdate") == 0
+
+    def test_both_neighbors_contacted_each_iteration(self):
+        sim, network, overlay = build(r=6, pve_expiration=90 * MINUTES)
+        overlay.start()
+        sim.run(until=10 * MINUTES)
+        # the middle peer (by ID) has both neighbours; trace one interval
+        middle = sorted(overlay.rendezvous, key=lambda p: p.peer_id)[2]
+        upper = middle.view.upper_neighbor()
+        lower = middle.view.lower_neighbor()
+        assert upper is not None and lower is not None
+        tracer = MessageTracer(
+            network,
+            payload_types=("PeerViewProbe", "PeerViewUpdate"),
+            addresses=(middle.address,),
+        )
+        sim.run(until=sim.now + 10 * MINUTES)
+        upper_addr = overlay.group.peer(upper).address
+        lower_addr = overlay.group.peer(lower).address
+        contacted = {e.dst for e in tracer.entries if e.src == middle.address}
+        assert upper_addr in contacted
+        assert lower_addr in contacted
+
+
+class TestLines13to14_SeedProbing:
+    """`if l < HAPPY_SIZE: probe seeds` (+ boot-time contact)."""
+
+    def test_seeds_probed_at_boot(self):
+        sim, network, overlay = build(r=3, startup_jitter=1.0)
+        tracer = MessageTracer(network, payload_types=("PeerViewProbe",))
+        overlay.start()
+        sim.run(until=30 * SECONDS)
+        # rdv-1's seed is rdv-0: the very first iteration probes it
+        sent = [
+            e for e in tracer.entries
+            if e.src == overlay.rendezvous[1].address
+            and e.dst == overlay.rendezvous[0].address
+        ]
+        assert sent
+
+    def test_unhappy_view_keeps_probing_seeds(self):
+        # two peers: l stays at 1 < HAPPY_SIZE, so the seed is probed
+        # every interval, not just at boot
+        sim, network, overlay = build(r=2, startup_jitter=0.0)
+        tracer = MessageTracer(network, payload_types=("PeerViewProbe",))
+        overlay.start()
+        sim.run(until=10 * MINUTES)
+        seed_probes = [
+            e for e in tracer.entries
+            if e.src == overlay.rendezvous[1].address
+            and e.dst == overlay.rendezvous[0].address
+        ]
+        assert len(seed_probes) >= 10
+
+    def test_happy_view_stops_probing_seeds(self):
+        sim, network, overlay = build(r=8, pve_expiration=90 * MINUTES)
+        overlay.start()
+        sim.run(until=10 * MINUTES)  # views complete (7 >= HAPPY_SIZE)
+        rdv1 = overlay.rendezvous[1]
+        seed_addr = overlay.rendezvous[0].address
+        tracer = MessageTracer(network, payload_types=("PeerViewProbe",))
+        sim.run(until=sim.now + 10 * MINUTES)
+        # rdv-1 may still probe rdv-0 as a neighbour/refresh target,
+        # but never via the seed branch; distinguish by rate: the seed
+        # branch would add one probe *every* interval (20 over 10 min)
+        seed_probes = [
+            e for e in tracer.entries
+            if e.src == rdv1.address and e.dst == seed_addr
+        ]
+        assert len(seed_probes) < 20
+
+
+class TestProbeResponseContract:
+    """§3.2: response + separate referral; referred peers are verified."""
+
+    def test_probe_yields_response_and_referral(self):
+        sim, network, overlay = build(r=6)
+        tracer = MessageTracer(
+            network,
+            payload_types=("PeerViewResponse", "PeerViewReferral"),
+        )
+        overlay.start()
+        sim.run(until=10 * MINUTES)
+        assert tracer.count("PeerViewResponse") > 0
+        assert tracer.count("PeerViewReferral") > 0
+
+    def test_verification_probes_do_not_solicit_referrals(self):
+        sim, network, overlay = build(r=6)
+        captured = []
+        original_send = network.send
+
+        def spy(src, dst, payload, size_bytes=512, on_drop=None):
+            body = getattr(payload, "body", None)
+            if isinstance(body, PeerViewProbe) and not body.want_referral:
+                captured.append((src, dst))
+            return original_send(
+                src, dst, payload, size_bytes=size_bytes, on_drop=on_drop
+            )
+
+        network.send = spy
+        overlay.start()
+        sim.run(until=10 * MINUTES)
+        # verification probes exist (unknown referred peers were probed)
+        assert captured

@@ -1,0 +1,88 @@
+"""Unit tests for the flooding and centralized discovery baselines."""
+
+import pytest
+
+from repro.advertisement import FakeAdvertisement
+from repro.baselines import build_centralized_overlay, build_flooding_overlay
+from repro.baselines.centralized import centralized_replica_fn
+from repro.config import PlatformConfig
+from repro.deploy import OverlayDescription
+from repro.network import Network
+from repro.network.latency import ConstantLatency
+from repro.sim import MINUTES, Simulator
+
+
+def build(builder, r=5, e=2, attachment=None, seed=1):
+    sim = Simulator(seed=seed)
+    net = Network(sim, latency=ConstantLatency(0.002))
+    overlay = builder(
+        sim, net, PlatformConfig(),
+        OverlayDescription(
+            rendezvous_count=r, edge_count=e, edge_attachment=attachment
+        ),
+    )
+    overlay.start()
+    sim.run(until=10 * MINUTES)
+    assert overlay.group.property_2_satisfied()
+    return sim, overlay
+
+
+def publish_and_search(sim, overlay, name="Flooded"):
+    publisher, searcher = overlay.edges[0], overlay.edges[-1]
+    publisher.discovery.publish(FakeAdvertisement(name))
+    sim.run(until=sim.now + 2 * MINUTES)
+    results = []
+    searcher.discovery.get_remote_advertisements(
+        "repro:FakeAdvertisement", "Name", name,
+        callback=lambda advs, lat: results.append((advs, lat)),
+    )
+    sim.run(until=sim.now + 1 * MINUTES)
+    return results
+
+
+class TestFlooding:
+    def test_lookup_succeeds_via_flood(self):
+        sim, overlay = build(build_flooding_overlay, r=5, e=2, attachment=[0, 3])
+        results = publish_and_search(sim, overlay)
+        assert len(results) == 1
+        assert results[0][0][0].name == "Flooded"
+
+    def test_no_replication_in_flood_mode(self):
+        sim, overlay = build(build_flooding_overlay, r=5, e=2, attachment=[0, 3])
+        overlay.edges[0].discovery.publish(FakeAdvertisement("OnlyHere"))
+        sim.run(until=sim.now + 2 * MINUTES)
+        key = ("repro:FakeAdvertisement", "Name", "OnlyHere")
+        holders = [
+            r for r in overlay.rendezvous
+            if r.discovery.srdi.lookup(key, sim.now)
+        ]
+        # only the publisher's own rendezvous indexes the tuple
+        assert [h.name for h in holders] == ["rdv-0"]
+
+    def test_flood_reaches_every_rendezvous(self):
+        sim, overlay = build(build_flooding_overlay, r=5, e=2, attachment=[0, 3])
+        publish_and_search(sim, overlay)
+        handled = [r.discovery.queries_handled for r in overlay.rendezvous]
+        assert all(h >= 1 for h in handled)
+
+
+class TestCentralized:
+    def test_replica_fn_always_rank_0(self):
+        fn = centralized_replica_fn()
+        for value in ("a", "b", "c"):
+            assert fn.rank(("t", "Name", value), member_count=50) == 0
+
+    def test_all_tuples_land_on_lowest_id_rdv(self):
+        sim, overlay = build(build_centralized_overlay, r=5, e=3, attachment=[0, 2, 4])
+        for i, edge in enumerate(overlay.edges):
+            edge.discovery.publish(FakeAdvertisement(f"item-{i}"))
+        sim.run(until=sim.now + 2 * MINUTES)
+        central = min(overlay.rendezvous, key=lambda r: r.peer_id)
+        for i in range(3):
+            key = ("repro:FakeAdvertisement", "Name", f"item-{i}")
+            assert central.discovery.srdi.lookup(key, sim.now), f"missing item-{i}"
+
+    def test_lookup_succeeds(self):
+        sim, overlay = build(build_centralized_overlay, r=5, e=2, attachment=[1, 3])
+        results = publish_and_search(sim, overlay, name="Central")
+        assert len(results) == 1

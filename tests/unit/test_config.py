@@ -1,0 +1,68 @@
+"""Unit tests for PlatformConfig."""
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.sim import MINUTES, SECONDS
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = PlatformConfig()
+        assert cfg.peerview_interval == 30 * SECONDS
+        assert cfg.pve_expiration == 20 * MINUTES
+        assert cfg.happy_size == 4
+        assert cfg.srdi_push_interval == 30 * SECONDS
+
+    def test_seeds_default_empty(self):
+        assert PlatformConfig().seeds == []
+
+
+class TestOverrides:
+    def test_with_overrides(self):
+        cfg = PlatformConfig().with_overrides(pve_expiration=90 * MINUTES)
+        assert cfg.pve_expiration == 90 * MINUTES
+        assert cfg.peerview_interval == 30 * SECONDS  # untouched
+
+    def test_with_seeds_copies(self):
+        seeds = ["tcp://a:1"]
+        cfg = PlatformConfig().with_seeds(seeds)
+        seeds.append("tcp://b:1")
+        assert cfg.seeds == ["tcp://a:1"]
+
+    def test_original_unchanged(self):
+        base = PlatformConfig()
+        base.with_overrides(happy_size=10)
+        assert base.happy_size == 4
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PlatformConfig().happy_size = 2
+
+
+class TestValidation:
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(peerview_interval=0.0)
+
+    def test_bad_expiration(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(pve_expiration=-1.0)
+
+    def test_bad_happy_size(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(happy_size=0)
+
+    def test_bad_lease_fraction(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(lease_renewal_fraction=1.0)
+        with pytest.raises(ValueError):
+            PlatformConfig(lease_renewal_fraction=0.0)
+
+    def test_bad_lease_duration(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(lease_duration=0.0)
+
+    def test_bad_ttl(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(propagate_ttl=0)

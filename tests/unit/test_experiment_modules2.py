@@ -1,0 +1,102 @@
+"""Unit tests for the extension experiments (churn, transport, complex,
+calibration) — small runs and render contracts."""
+
+import pytest
+
+from repro.experiments import (
+    calibration_exp,
+    churn_exp,
+    complex_queries,
+    transport_exp,
+)
+from repro.sim import MINUTES
+
+
+class TestChurnExperiment:
+    def test_run_point_reports_kills_and_samples(self):
+        point = churn_exp.run_point(
+            r=8, mean_session=10 * MINUTES, queries=8, seed=3,
+            warmup=8 * MINUTES,
+        )
+        assert point.kills >= 1
+        assert 0.0 <= point.success <= 1.0
+        assert point.r == 8
+
+    def test_render(self):
+        point = churn_exp.ChurnPoint(
+            r=8, mean_session_minutes=5.0, success=0.75, mean_ms=20.0,
+            kills=10, revives=9, walk_steps=42,
+        )
+        text = churn_exp.render([point])
+        assert "75%" in text
+        assert "5min" in text
+
+
+class TestTransportExperiment:
+    def test_tcp_point(self):
+        point = transport_exp.run_point(
+            "tcp", r=4, queries=5, seed=2, warmup=8 * MINUTES
+        )
+        assert point.transport == "tcp"
+        assert point.poll_interval == 0.0
+        assert point.success == 1.0
+        assert point.mean_ms < 100.0
+
+    def test_http_point_pays_polling(self):
+        point = transport_exp.run_point(
+            "http", r=4, queries=5, seed=2, warmup=8 * MINUTES,
+            poll_interval=1.0,
+        )
+        assert point.success == 1.0
+        assert point.mean_ms > 100.0
+
+    def test_render(self):
+        points = [
+            transport_exp.TransportPoint("tcp", 0.0, 13.0, 1.0),
+            transport_exp.TransportPoint("http", 2.0, 1900.0, 1.0),
+        ]
+        text = transport_exp.render(points)
+        assert "tcp" in text and "http (poll 2.0s)" in text
+
+
+class TestComplexQueriesExperiment:
+    def test_run_point_returns_three_kinds(self):
+        points = complex_queries.run_point(r=6, queries=5, seed=2)
+        kinds = [p.kind for p in points]
+        assert kinds == ["exact", "wildcard", "range"]
+        for p in points:
+            assert p.mean_ms > 0
+
+    def test_exact_finds_one_wildcard_finds_all(self):
+        points = complex_queries.run_point(
+            r=6, publishers=4, queries=5, seed=2
+        )
+        by = {p.kind: p for p in points}
+        assert by["exact"].results_found == 1
+        assert by["wildcard"].results_found == 4
+        assert by["range"].results_found == 2
+
+
+class TestCalibrationExperiment:
+    def test_run_point_fields(self):
+        point = calibration_exp.run_point(
+            r=12, referral_count=3, random_probe_count=1,
+            duration=20 * MINUTES, seed=2,
+        )
+        assert point.peak <= 11
+        assert point.plateau <= point.peak
+        assert point.kbps_per_rdv > 0
+
+    def test_render_orders_rows(self):
+        points = [
+            calibration_exp.CalibrationPoint(
+                r=40, referral_count=rc, random_probe_count=rpc,
+                peak=39.0, peak_minutes=10.0, plateau=38.0,
+                kbps_per_rdv=2.0,
+            )
+            for rc in (1, 3)
+            for rpc in (0, 1)
+        ]
+        text = calibration_exp.render(points)
+        assert "referral_count" in text
+        assert text.count("39") >= 4

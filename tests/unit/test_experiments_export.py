@@ -1,0 +1,82 @@
+"""Unit tests for the experiment result exporter."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.export import save_results
+from repro.experiments.fig3_left import Fig3LeftSeries
+from repro.experiments.fig3_right import Fig3RightResult
+from repro.experiments.fig4_left import Fig4LeftResult
+from repro.experiments.fig4_right import Fig4RightPoint
+from repro.metrics.series import StepSeries
+
+
+class TestCurveListExport:
+    def test_fig3_left_csv(self, tmp_path):
+        results = [
+            Fig3LeftSeries(
+                r=10, topology="chain",
+                series=StepSeries([0.0, 120.0], [0.0, 9.0]),
+                final_sizes=[9] * 10,
+            ),
+            Fig3LeftSeries(
+                r=45, topology="chain",
+                series=StepSeries([0.0, 240.0], [0.0, 44.0]),
+                final_sizes=[44] * 45,
+            ),
+        ]
+        written = save_results("fig3-left", results, tmp_path)
+        assert written == [tmp_path / "fig3-left.csv"]
+        lines = written[0].read_text().splitlines()
+        assert lines[0] == "t_seconds,10-chain,45-chain"
+        assert len(lines) > 2
+
+
+class TestFig4LeftExport:
+    def test_two_column_csv(self, tmp_path):
+        result = Fig4LeftResult(
+            r=50, duration=600.0,
+            default_series=StepSeries([0.0, 300.0], [0.0, 49.0]),
+            tuned_series=StepSeries([0.0, 300.0], [0.0, 49.0]),
+            tuned_expiration=5400.0,
+        )
+        written = save_results("fig4-left", result, tmp_path)
+        lines = written[0].read_text().splitlines()
+        assert lines[0] == "t_seconds,default,tuned"
+
+
+class TestScatterExport:
+    def test_fig3_right_rows(self, tmp_path):
+        result = Fig3RightResult(
+            r=10, duration=600.0, pve_expiration=1200.0,
+            add_points=[(1.0, 1), (2.0, 2)],
+            remove_points=[(500.0, 1)],
+        )
+        written = save_results("fig3-right", result, tmp_path)
+        lines = written[0].read_text().splitlines()
+        assert lines[0] == "time,rendezvous_number,event"
+        assert len(lines) == 4
+        assert lines[-1].endswith("remove")
+
+
+class TestPointListExport:
+    def test_fig4_right_columns(self, tmp_path):
+        points = [
+            Fig4RightPoint(
+                r=5, configuration="A", mean_ms=12.8, success=1.0,
+                samples=[], total_walk_steps=0,
+            )
+        ]
+        written = save_results("fig4-right", points, tmp_path)
+        lines = written[0].read_text().splitlines()
+        assert lines[0] == "r,configuration,mean_ms,success,total_walk_steps"
+        assert lines[1].startswith("5,A,12.8")
+
+
+class TestFallbackJson:
+    def test_unknown_shape_becomes_json(self, tmp_path):
+        written = save_results("misc", {"a": 1}, tmp_path)
+        assert written == [tmp_path / "misc.json"]
+        assert json.loads(written[0].read_text()) == {"a": 1}

@@ -1,0 +1,120 @@
+"""Unit tests for the rendezvous lease protocol."""
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.deploy import OverlayDescription, build_overlay
+from repro.network import Network
+from repro.network.latency import ConstantLatency
+from repro.sim import MINUTES, SECONDS, Simulator
+
+
+def build(r=2, e=2, attachment=None, seed=1, **overrides):
+    sim = Simulator(seed=seed)
+    net = Network(sim, latency=ConstantLatency(0.002))
+    config = PlatformConfig().with_overrides(**overrides)
+    overlay = build_overlay(
+        sim, net, config,
+        OverlayDescription(
+            rendezvous_count=r, edge_count=e, edge_attachment=attachment
+        ),
+    )
+    overlay.start()
+    return sim, overlay
+
+
+class TestLeaseGrant:
+    def test_edges_connect_to_their_seed_rdv(self):
+        sim, overlay = build(r=2, e=2, attachment=[0, 1])
+        sim.run(until=1 * MINUTES)
+        assert overlay.edges[0].lease_client.rdv_peer_id == overlay.rendezvous[0].peer_id
+        assert overlay.edges[1].lease_client.rdv_peer_id == overlay.rendezvous[1].peer_id
+
+    def test_rdv_tracks_its_edges(self):
+        sim, overlay = build(r=1, e=3, attachment=[0, 0, 0])
+        sim.run(until=1 * MINUTES)
+        assert sorted(
+            p.short() for p in overlay.rendezvous[0].lease_server.edges()
+        ) == sorted(e.peer_id.short() for e in overlay.edges)
+
+    def test_edge_default_route_is_rdv(self):
+        sim, overlay = build(r=1, e=1)
+        sim.run(until=1 * MINUTES)
+        edge = overlay.edges[0]
+        assert edge.router._default_route == overlay.rendezvous[0].address
+
+    def test_on_connected_hook_fires(self):
+        sim, overlay = build(r=1, e=1)
+        sim.run(until=1 * MINUTES)
+        assert overlay.edges[0].lease_client.connected
+
+
+class TestRenewal:
+    def test_lease_renews_before_expiry(self):
+        sim, overlay = build(
+            r=1, e=1, lease_duration=2 * MINUTES
+        )
+        sim.run(until=30 * MINUTES)
+        server = overlay.rendezvous[0].lease_server
+        assert server.renewals >= 10
+        assert overlay.edges[0].lease_client.connected
+        assert server.has_edge(overlay.edges[0].peer_id)
+
+    def test_unrenewed_lease_expires(self):
+        sim, overlay = build(r=1, e=1, lease_duration=2 * MINUTES)
+        sim.run(until=1 * MINUTES)
+        edge = overlay.edges[0]
+        edge.crash()  # silent disappearance: no LeaseCancel
+        sim.run(until=10 * MINUTES)
+        assert not overlay.rendezvous[0].lease_server.has_edge(edge.peer_id)
+
+
+class TestDisconnect:
+    def test_graceful_stop_sends_cancel(self):
+        sim, overlay = build(r=1, e=1)
+        sim.run(until=1 * MINUTES)
+        edge = overlay.edges[0]
+        edge.stop()
+        sim.run(until=2 * MINUTES)
+        assert not overlay.rendezvous[0].lease_server.has_edge(edge.peer_id)
+
+    def test_disconnected_hook_fires_on_cancel(self):
+        sim, overlay = build(r=1, e=1)
+        sim.run(until=1 * MINUTES)
+        gone = []
+        overlay.rendezvous[0].lease_server.on_edge_disconnected = gone.append
+        overlay.edges[0].stop()
+        sim.run(until=2 * MINUTES)
+        assert gone == [overlay.edges[0].peer_id]
+
+
+class TestFailover:
+    def test_edge_fails_over_to_second_seed(self):
+        sim = Simulator(seed=5)
+        net = Network(sim, latency=ConstantLatency(0.002))
+        config = PlatformConfig().with_overrides(
+            lease_duration=2 * MINUTES, lease_request_timeout=10 * SECONDS
+        )
+        overlay = build_overlay(
+            sim, net, config, OverlayDescription(rendezvous_count=2)
+        )
+        # one edge seeded to BOTH rendezvous, preferring rdv-0
+        edge = overlay.group.create_edge(
+            overlay.rendezvous[0].node,
+            seeds=[overlay.rendezvous[0].address, overlay.rendezvous[1].address],
+        )
+        overlay.start()  # starts the edge too (group-registered)
+        sim.run(until=1 * MINUTES)
+        assert edge.lease_client.rdv_peer_id == overlay.rendezvous[0].peer_id
+        overlay.rendezvous[0].crash()
+        sim.run(until=10 * MINUTES)
+        assert edge.lease_client.rdv_peer_id == overlay.rendezvous[1].peer_id
+
+    def test_edge_requires_seeds(self):
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        overlay = build_overlay(
+            sim, net, PlatformConfig(), OverlayDescription(rendezvous_count=1)
+        )
+        with pytest.raises(ValueError):
+            overlay.group.create_edge(overlay.rendezvous[0].node, seeds=[])

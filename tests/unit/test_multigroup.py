@@ -1,0 +1,169 @@
+"""Unit tests for multi-group membership (peer group organization)."""
+
+import pytest
+
+from repro.advertisement import FakeAdvertisement
+from repro.config import PlatformConfig
+from repro.deploy import OverlayDescription, build_overlay
+from repro.ids import IDFactory
+from repro.network import Network
+from repro.sim import MINUTES, Simulator
+
+
+def build(seed=31, r=4, e=2):
+    sim = Simulator(seed=seed)
+    network = Network(sim)
+    overlay = build_overlay(
+        sim, network, PlatformConfig(),
+        OverlayDescription(
+            rendezvous_count=r, edge_count=e,
+            edge_attachment=[i % r for i in range(e)],
+        ),
+    )
+    overlay.start()
+    sim.run(until=10 * MINUTES)
+    assert overlay.group.property_2_satisfied()
+    subgroup_id = IDFactory(sim.rng.stream("test.groups")).new_peer_group_id()
+    return sim, overlay, subgroup_id
+
+
+class TestJoinLeave:
+    def test_join_as_rendezvous_creates_context(self):
+        sim, overlay, gid = build()
+        rdv = overlay.rendezvous[0]
+        context = rdv.join_group(gid, role="rendezvous")
+        assert context.is_rendezvous
+        assert rdv.context(gid) is context
+        assert context.started  # peer was running
+
+    def test_duplicate_join_rejected(self):
+        sim, overlay, gid = build()
+        rdv = overlay.rendezvous[0]
+        rdv.join_group(gid, role="rendezvous")
+        with pytest.raises(ValueError):
+            rdv.join_group(gid, role="edge")
+
+    def test_unknown_role_rejected(self):
+        sim, overlay, gid = build()
+        with pytest.raises(ValueError):
+            overlay.rendezvous[0].join_group(gid, role="observer")
+
+    def test_cannot_leave_primary(self):
+        sim, overlay, _ = build()
+        rdv = overlay.rendezvous[0]
+        with pytest.raises(ValueError):
+            rdv.leave_group(rdv.group_id)
+
+    def test_leave_secondary_stops_context(self):
+        sim, overlay, gid = build()
+        rdv = overlay.rendezvous[0]
+        context = rdv.join_group(gid, role="rendezvous")
+        rdv.leave_group(gid)
+        assert not context.started
+        assert gid not in rdv.contexts
+
+
+class TestSubgroupOverlay:
+    def _form_subgroup(self, sim, overlay, gid, members=3):
+        """First rendezvous anchors the sub-group; others chain to it."""
+        anchors = overlay.rendezvous[:members]
+        contexts = []
+        for i, peer in enumerate(anchors):
+            seeds = [] if i == 0 else [anchors[i - 1].address]
+            contexts.append(
+                peer.join_group(gid, role="rendezvous", seeds=seeds)
+            )
+        return contexts
+
+    def test_subgroup_peerview_converges_independently(self):
+        sim, overlay, gid = build(r=5)
+        contexts = self._form_subgroup(sim, overlay, gid, members=3)
+        sim.run(until=sim.now + 10 * MINUTES)
+        # the sub-group's peerviews see exactly the 3 members
+        for context in contexts:
+            assert context.view.size == 2
+        # the primary (Net) group's peerviews are untouched: still all 5
+        for rdv in overlay.rendezvous:
+            assert rdv.view.size == 4
+
+    def test_discovery_is_scoped_to_the_group(self):
+        sim, overlay, gid = build(r=5, e=2)
+        contexts = self._form_subgroup(sim, overlay, gid, members=3)
+        sim.run(until=sim.now + 10 * MINUTES)
+
+        # publish inside the sub-group only
+        contexts[0].discovery.publish(FakeAdvertisement("group-private"))
+        sim.run(until=sim.now + 2 * MINUTES)
+
+        # a sub-group member finds it...
+        results = []
+        contexts[2].discovery.get_remote_advertisements(
+            "repro:FakeAdvertisement", "Name", "group-private",
+            callback=lambda advs, lat: results.append(advs),
+        )
+        sim.run(until=sim.now + 1 * MINUTES)
+        assert len(results) == 1
+
+        # ...an edge of the primary group does not
+        timeouts = []
+        overlay.edges[0].discovery.get_remote_advertisements(
+            "repro:FakeAdvertisement", "Name", "group-private",
+            callback=lambda advs, lat: pytest.fail("leaked across groups"),
+            on_timeout=lambda: timeouts.append(1),
+            timeout=15.0,
+        )
+        sim.run(until=sim.now + 1 * MINUTES)
+        assert timeouts == [1]
+
+    def test_edge_role_in_secondary_group(self):
+        sim, overlay, gid = build(r=5, e=1)
+        contexts = self._form_subgroup(sim, overlay, gid, members=2)
+        sim.run(until=sim.now + 5 * MINUTES)
+        # the primary-group *edge* joins the sub-group as an edge too,
+        # leasing to a sub-group rendezvous
+        edge = overlay.edges[0]
+        edge_ctx = edge.join_group(
+            gid, role="edge", seeds=[overlay.rendezvous[0].address]
+        )
+        sim.run(until=sim.now + 2 * MINUTES)
+        assert edge_ctx.lease_client.connected
+        assert (
+            edge_ctx.lease_client.rdv_peer_id
+            == overlay.rendezvous[0].peer_id
+        )
+
+        # publish through the sub-group membership and find it there
+        edge_ctx.discovery.publish(FakeAdvertisement("from-subgroup-edge"))
+        sim.run(until=sim.now + 2 * MINUTES)
+        results = []
+        contexts[1].discovery.get_remote_advertisements(
+            "repro:FakeAdvertisement", "Name", "from-subgroup-edge",
+            callback=lambda advs, lat: results.append(advs),
+        )
+        sim.run(until=sim.now + 1 * MINUTES)
+        assert len(results) == 1
+
+    def test_mixed_roles_across_groups(self):
+        sim, overlay, gid = build(r=4, e=1)
+        # a primary-group rendezvous acts as a plain edge elsewhere
+        rdv = overlay.rendezvous[3]
+        anchor = overlay.rendezvous[0]
+        anchor.join_group(gid, role="rendezvous")
+        sim.run(until=sim.now + 2 * MINUTES)
+        edge_ctx = rdv.join_group(gid, role="edge", seeds=[anchor.address])
+        sim.run(until=sim.now + 2 * MINUTES)
+        assert rdv.is_rendezvous            # primary role unchanged
+        assert not edge_ctx.is_rendezvous   # secondary role is edge
+        assert edge_ctx.lease_client.connected
+
+    def test_join_before_start_starts_with_peer(self):
+        sim = Simulator(seed=9)
+        network = Network(sim)
+        overlay = build_overlay(
+            sim, network, PlatformConfig(), OverlayDescription(rendezvous_count=2)
+        )
+        gid = IDFactory(sim.rng.stream("g")).new_peer_group_id()
+        context = overlay.rendezvous[0].join_group(gid, role="rendezvous")
+        assert not context.started
+        overlay.start()
+        assert context.started

@@ -1,0 +1,101 @@
+"""Unit tests for Grid'5000 sites and node placement."""
+
+import pytest
+
+from repro.network.site import (
+    GRID5000_SITES,
+    Node,
+    Site,
+    place_nodes,
+    site_by_name,
+)
+
+
+class TestSites:
+    def test_nine_sites(self):
+        assert len(GRID5000_SITES) == 9
+
+    def test_site_names_match_paper(self):
+        names = {s.name for s in GRID5000_SITES}
+        assert names == {
+            "bordeaux", "grenoble", "lille", "lyon", "nancy",
+            "orsay", "rennes", "sophia", "toulouse",
+        }
+
+    def test_lookup_by_name(self):
+        assert site_by_name("Rennes").name == "rennes"
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            site_by_name("paris")
+
+    def test_distance_zero_to_self(self):
+        rennes = site_by_name("rennes")
+        assert rennes.distance_km(rennes) == 0.0
+
+    def test_distance_symmetric(self):
+        a, b = site_by_name("rennes"), site_by_name("sophia")
+        assert a.distance_km(b) == pytest.approx(b.distance_km(a))
+
+    def test_distance_plausible_rennes_sophia(self):
+        # Rennes to Sophia-Antipolis is roughly 850 km as the crow flies
+        d = site_by_name("rennes").distance_km(site_by_name("sophia"))
+        assert 700 < d < 1000
+
+    def test_distance_lille_is_farthest_north(self):
+        lille = site_by_name("lille")
+        toulouse = site_by_name("toulouse")
+        orsay = site_by_name("orsay")
+        assert lille.distance_km(toulouse) > lille.distance_km(orsay)
+
+
+class TestNode:
+    def test_default_hostname(self):
+        n = Node(3, site_by_name("lyon"))
+        assert n.hostname == "lyon-3"
+
+    def test_explicit_hostname(self):
+        n = Node(0, site_by_name("lyon"), hostname="gdx-42")
+        assert n.hostname == "gdx-42"
+
+    def test_hashable(self):
+        a = Node(1, site_by_name("lyon"))
+        assert len({a, a}) == 1
+
+
+class TestPlaceNodes:
+    def test_round_robin_across_nine_sites(self):
+        nodes = place_nodes(18)
+        assert len(nodes) == 18
+        per_site = {}
+        for n in nodes:
+            per_site[n.site.name] = per_site.get(n.site.name, 0) + 1
+        assert all(count == 2 for count in per_site.values())
+
+    def test_ids_are_sequential(self):
+        nodes = place_nodes(5)
+        assert [n.node_id for n in nodes] == [0, 1, 2, 3, 4]
+
+    def test_explicit_per_site(self):
+        nodes = place_nodes(3, per_site={"rennes": 2, "orsay": 1})
+        assert [n.site.name for n in nodes] == ["rennes", "rennes", "orsay"]
+
+    def test_per_site_sum_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            place_nodes(5, per_site={"rennes": 2})
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            place_nodes(-1)
+
+    def test_subset_of_sites(self):
+        rennes = site_by_name("rennes")
+        nodes = place_nodes(4, sites=[rennes])
+        assert all(n.site is rennes for n in nodes)
+
+    def test_empty_site_list_rejected(self):
+        with pytest.raises(ValueError):
+            place_nodes(4, sites=[])
+
+    def test_zero_nodes(self):
+        assert place_nodes(0) == []

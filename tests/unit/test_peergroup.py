@@ -1,0 +1,99 @@
+"""Unit tests for peer assembly and the PeerGroup registry."""
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.ids.jxtaid import NET_PEER_GROUP_ID
+from repro.network import Network
+from repro.network.site import place_nodes
+from repro.peergroup import PeerGroup
+from repro.sim import MINUTES, Simulator
+
+
+@pytest.fixture
+def group():
+    sim = Simulator(seed=4)
+    network = Network(sim)
+    return PeerGroup(sim, network, PlatformConfig())
+
+
+class TestConstruction:
+    def test_rendezvous_assembly(self, group):
+        node = place_nodes(1)[0]
+        rdv = group.create_rendezvous(node)
+        assert rdv.is_rendezvous
+        assert rdv.rdv_adv.route_hint == rdv.address
+        assert rdv.view.local_peer_id == rdv.peer_id
+        assert rdv.discovery.is_rendezvous
+        assert group.r == 1
+
+    def test_edge_assembly(self, group):
+        nodes = place_nodes(2)
+        rdv = group.create_rendezvous(nodes[0])
+        edge = group.create_edge(nodes[1], seeds=[rdv.address])
+        assert not edge.is_rendezvous
+        assert edge.config.seeds == [rdv.address]
+        assert not edge.discovery.is_rendezvous
+        assert group.e == 1
+
+    def test_port_allocation_per_node(self, group):
+        node = place_nodes(1)[0]
+        a = group.create_rendezvous(node)
+        b = group.create_rendezvous(node)
+        assert a.address != b.address
+
+    def test_peer_registry(self, group):
+        node = place_nodes(1)[0]
+        rdv = group.create_rendezvous(node)
+        assert group.peer(rdv.peer_id) is rdv
+
+    def test_names_sequence(self, group):
+        nodes = place_nodes(3)
+        r0 = group.create_rendezvous(nodes[0])
+        r1 = group.create_rendezvous(nodes[1])
+        assert (r0.name, r1.name) == ("rdv-0", "rdv-1")
+
+    def test_custom_peer_id(self, group):
+        from repro.ids.jxtaid import PeerID
+
+        node = place_nodes(1)[0]
+        pid = PeerID.from_int(NET_PEER_GROUP_ID, 77)
+        rdv = group.create_rendezvous(node, peer_id=pid)
+        assert rdv.peer_id == pid
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self, group):
+        node = place_nodes(1)[0]
+        rdv = group.create_rendezvous(node)
+        rdv.start()
+        with pytest.raises(RuntimeError):
+            rdv.start()
+
+    def test_stop_before_start_is_noop(self, group):
+        node = place_nodes(1)[0]
+        group.create_rendezvous(node).stop()
+
+    def test_peer_advertisement(self, group):
+        node = place_nodes(1)[0]
+        rdv = group.create_rendezvous(node, name="my-rdv")
+        adv = rdv.peer_advertisement()
+        assert adv.peer_id == rdv.peer_id
+        assert adv.name == "my-rdv"
+
+
+class TestObservables:
+    def test_empty_group_property2_trivially_true(self, group):
+        assert group.property_2_satisfied()
+        assert group.peerview_sizes() == []
+        assert group.global_peerview_target() == 0
+
+    def test_stopped_peers_excluded_from_target(self, group):
+        nodes = place_nodes(3)
+        rdvs = [group.create_rendezvous(n) for n in nodes]
+        group.start_all()
+        group.sim.run(until=10 * MINUTES)
+        assert group.global_peerview_target() == 2
+        rdvs[0].stop()
+        assert group.global_peerview_target() == 1
+        assert len(group.peerview_sizes()) == 2

@@ -1,0 +1,85 @@
+"""Unit tests for the Peer Information Protocol."""
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.deploy import OverlayDescription, build_overlay
+from repro.network import Network
+from repro.sim import MINUTES, SECONDS, Simulator
+
+
+def build(seed=8):
+    sim = Simulator(seed=seed)
+    network = Network(sim)
+    overlay = build_overlay(
+        sim, network, PlatformConfig(),
+        OverlayDescription(rendezvous_count=3, edge_count=2,
+                           edge_attachment=[0, 1]),
+    )
+    overlay.start()
+    sim.run(until=8 * MINUTES)
+    return sim, overlay
+
+
+class TestPing:
+    def test_edge_pings_rendezvous(self):
+        sim, overlay = build()
+        edge = overlay.edges[0]
+        target = overlay.rendezvous[0]
+        results = []
+        edge.peerinfo.ping(
+            target.peer_id,
+            callback=lambda info, rtt: results.append((info, rtt)),
+        )
+        sim.run(until=sim.now + 30 * SECONDS)
+        assert len(results) == 1
+        info, rtt = results[0]
+        assert info.peer_id == target.peer_id
+        assert info.name == target.name
+        assert info.is_rendezvous
+        assert info.uptime > 0
+        assert info.messages_in > 0
+        assert 0 < rtt < 1.0
+
+    def test_rendezvous_pings_edge(self):
+        sim, overlay = build()
+        rdv = overlay.rendezvous[0]
+        edge = overlay.edges[0]
+        results = []
+        rdv.peerinfo.ping(
+            edge.peer_id, callback=lambda info, rtt: results.append(info)
+        )
+        sim.run(until=sim.now + 30 * SECONDS)
+        assert len(results) == 1
+        assert not results[0].is_rendezvous
+
+    def test_ping_dead_peer_times_out(self):
+        sim, overlay = build()
+        edge = overlay.edges[0]
+        victim = overlay.rendezvous[2]
+        victim_id = victim.peer_id
+        # ensure a route exists, then kill the peer
+        edge.router.add_route(victim_id, [victim.address])
+        victim.crash()
+        timeouts = []
+        edge.peerinfo.ping(
+            victim_id,
+            callback=lambda info, rtt: pytest.fail("dead peer answered"),
+            on_timeout=lambda: timeouts.append(1),
+            timeout=5.0,
+        )
+        sim.run(until=sim.now + 30 * SECONDS)
+        assert timeouts == [1]
+
+    def test_rtt_reflects_network_distance(self):
+        sim, overlay = build()
+        edge = overlay.edges[0]
+        rtts = {}
+        for rdv in overlay.rendezvous[:2]:
+            edge.peerinfo.ping(
+                rdv.peer_id,
+                callback=lambda info, rtt, n=rdv.name: rtts.update({n: rtt}),
+            )
+        sim.run(until=sim.now + 30 * SECONDS)
+        assert len(rtts) == 2
+        assert all(rtt > 0 for rtt in rtts.values())

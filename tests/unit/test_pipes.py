@@ -1,0 +1,164 @@
+"""Unit tests for the Pipe Binding Protocol and pipe service."""
+
+import pytest
+
+from repro.advertisement.pipeadv import (
+    PIPE_TYPE_PROPAGATE,
+    PIPE_TYPE_UNICAST,
+    PipeAdvertisement,
+)
+from repro.config import PlatformConfig
+from repro.deploy import OverlayDescription, build_overlay
+from repro.ids import IDFactory
+from repro.network import Network
+from repro.pipes import PipeBindingAdvertisement, PipeMessage
+from repro.sim import MINUTES, SECONDS, Simulator
+
+
+def build(r=4, e=3, attachment=None, seed=6):
+    sim = Simulator(seed=seed)
+    network = Network(sim)
+    overlay = build_overlay(
+        sim, network, PlatformConfig(),
+        OverlayDescription(
+            rendezvous_count=r, edge_count=e,
+            edge_attachment=attachment or list(range(e)),
+        ),
+    )
+    overlay.start()
+    sim.run(until=10 * MINUTES)
+    assert overlay.group.property_2_satisfied()
+    ids = IDFactory(sim.rng.stream("test.pipes"))
+    return sim, overlay, ids
+
+
+class TestBindingAdvertisement:
+    def test_roundtrip(self):
+        from repro.advertisement import parse_advertisement
+
+        ids = IDFactory(__import__("random").Random(1))
+        adv = PipeBindingAdvertisement(
+            ids.new_pipe_id(), ids.new_peer_id(), "tcp://h:1"
+        )
+        assert parse_advertisement(adv.to_xml()) == adv
+
+    def test_unique_key_per_binder(self):
+        import random
+
+        ids = IDFactory(random.Random(1))
+        pipe = ids.new_pipe_id()
+        a = PipeBindingAdvertisement(pipe, ids.new_peer_id(), "tcp://a:1")
+        b = PipeBindingAdvertisement(pipe, ids.new_peer_id(), "tcp://b:1")
+        assert a.unique_key() != b.unique_key()
+
+    def test_empty_address_rejected(self):
+        import random
+
+        ids = IDFactory(random.Random(1))
+        with pytest.raises(ValueError):
+            PipeBindingAdvertisement(ids.new_pipe_id(), ids.new_peer_id(), "")
+
+
+class TestUnicastPipe:
+    def test_bind_resolve_send(self):
+        sim, overlay, ids = build()
+        receiver, sender = overlay.edges[0], overlay.edges[1]
+        adv = PipeAdvertisement(ids.new_pipe_id(), "chat", PIPE_TYPE_UNICAST)
+
+        inbox = []
+        receiver.pipes.bind_input(adv, lambda m: inbox.append(m.payload))
+        sim.run(until=sim.now + 2 * MINUTES)  # SRDI propagation
+
+        pipes = []
+        sender.pipes.resolve_output(adv, callback=pipes.append)
+        sim.run(until=sim.now + 1 * MINUTES)
+        assert len(pipes) == 1
+
+        assert pipes[0].send("hello") == 1
+        sim.run(until=sim.now + 10 * SECONDS)
+        assert inbox == ["hello"]
+
+    def test_double_bind_rejected(self):
+        sim, overlay, ids = build()
+        adv = PipeAdvertisement(ids.new_pipe_id(), "x")
+        overlay.edges[0].pipes.bind_input(adv, lambda m: None)
+        with pytest.raises(ValueError):
+            overlay.edges[0].pipes.bind_input(adv, lambda m: None)
+
+    def test_unresolvable_pipe_times_out(self):
+        sim, overlay, ids = build()
+        adv = PipeAdvertisement(ids.new_pipe_id(), "ghost")
+        timeouts = []
+        overlay.edges[0].pipes.resolve_output(
+            adv,
+            callback=lambda p: pytest.fail("must not resolve"),
+            on_timeout=lambda: timeouts.append(1),
+            timeout=20.0,
+        )
+        sim.run(until=sim.now + 1 * MINUTES)
+        assert timeouts == [1]
+
+    def test_closed_pipe_stops_delivering(self):
+        sim, overlay, ids = build()
+        receiver, sender = overlay.edges[0], overlay.edges[1]
+        adv = PipeAdvertisement(ids.new_pipe_id(), "closeme")
+        inbox = []
+        pipe_in = receiver.pipes.bind_input(adv, lambda m: inbox.append(m))
+        sim.run(until=sim.now + 2 * MINUTES)
+        pipes = []
+        sender.pipes.resolve_output(adv, callback=pipes.append)
+        sim.run(until=sim.now + 1 * MINUTES)
+        pipe_in.close()
+        pipes[0].send("late")
+        sim.run(until=sim.now + 10 * SECONDS)
+        assert inbox == []
+
+    def test_local_loopback(self):
+        sim, overlay, ids = build()
+        peer = overlay.edges[0]
+        adv = PipeAdvertisement(ids.new_pipe_id(), "self")
+        inbox = []
+        peer.pipes.bind_input(adv, lambda m: inbox.append(m.payload))
+        sim.run(until=sim.now + 2 * MINUTES)
+        pipes = []
+        peer.pipes.resolve_output(adv, callback=pipes.append)
+        sim.run(until=sim.now + 1 * MINUTES)
+        pipes[0].send(42)
+        sim.run(until=sim.now + 1 * SECONDS)
+        assert inbox == [42]
+
+
+class TestPropagatePipe:
+    def test_fan_out_to_all_binders(self):
+        sim, overlay, ids = build(e=3, attachment=[0, 1, 2])
+        r1, r2, sender = overlay.edges
+        adv = PipeAdvertisement(
+            ids.new_pipe_id(), "events", PIPE_TYPE_PROPAGATE
+        )
+        inbox1, inbox2 = [], []
+        r1.pipes.bind_input(adv, lambda m: inbox1.append(m.payload))
+        r2.pipes.bind_input(adv, lambda m: inbox2.append(m.payload))
+        sim.run(until=sim.now + 2 * MINUTES)
+
+        pipes = []
+        sender.pipes.resolve_output(
+            adv, callback=pipes.append, threshold=2, timeout=20.0
+        )
+        sim.run(until=sim.now + 1 * MINUTES)
+        assert len(pipes) == 1
+        delivered_to = pipes[0].send("tick")
+        sim.run(until=sim.now + 10 * SECONDS)
+        assert delivered_to == 2
+        assert inbox1 == ["tick"]
+        assert inbox2 == ["tick"]
+
+
+class TestPipeMessage:
+    def test_size_accounts_for_payload(self):
+        import random
+
+        ids = IDFactory(random.Random(1))
+        pid = ids.new_pipe_id()
+        small = PipeMessage(pid, "x")
+        big = PipeMessage(pid, "x" * 2000)
+        assert big.size_bytes() > small.size_bytes() + 1500

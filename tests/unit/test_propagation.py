@@ -1,0 +1,103 @@
+"""Unit tests for the rendezvous propagation protocol."""
+
+from repro.config import PlatformConfig
+from repro.deploy import OverlayDescription, build_overlay
+from repro.network import Network
+from repro.network.latency import ConstantLatency
+from repro.resolver import QueryHandler
+from repro.sim import MINUTES, Simulator
+
+
+class Recorder(QueryHandler):
+    def __init__(self, name):
+        self.name = name
+        self.seen = []
+
+    def process_query(self, query):
+        self.seen.append(query)
+        return None
+
+
+def build(r=5, e=1, seed=1):
+    sim = Simulator(seed=seed)
+    net = Network(sim, latency=ConstantLatency(0.002))
+    overlay = build_overlay(
+        sim, net, PlatformConfig(),
+        OverlayDescription(rendezvous_count=r, edge_count=e),
+    )
+    overlay.start()
+    sim.run(until=10 * MINUTES)
+    assert overlay.group.property_2_satisfied()
+    return sim, overlay
+
+
+HANDLER = "test.flood"
+
+
+class TestRdvPropagation:
+    def test_reaches_every_rendezvous(self):
+        sim, overlay = build(r=5)
+        recorders = []
+        for rdv in overlay.rendezvous:
+            rec = Recorder(rdv.name)
+            rdv.resolver.register_handler(HANDLER, rec)
+            recorders.append(rec)
+        origin = overlay.rendezvous[0]
+        query = origin.resolver.new_query(HANDLER, "flood-me")
+        origin.resolver.send_query(None, query)
+        sim.run(until=sim.now + 1 * MINUTES)
+        assert all(len(r.seen) >= 1 for r in recorders)
+
+    def test_no_duplicate_delivery_with_complete_views(self):
+        sim, overlay = build(r=5)
+        recorders = []
+        for rdv in overlay.rendezvous:
+            rec = Recorder(rdv.name)
+            rdv.resolver.register_handler(HANDLER, rec)
+            recorders.append(rec)
+        origin = overlay.rendezvous[0]
+        origin.resolver.send_query(None, origin.resolver.new_query(HANDLER, "x"))
+        sim.run(until=sim.now + 1 * MINUTES)
+        assert all(len(r.seen) == 1 for r in recorders)
+
+    def test_edge_originated_propagation(self):
+        sim, overlay = build(r=4, e=1)
+        recorders = []
+        for rdv in overlay.rendezvous:
+            rec = Recorder(rdv.name)
+            rdv.resolver.register_handler(HANDLER, rec)
+            recorders.append(rec)
+        edge = overlay.edges[0]
+        edge.resolver.send_query(None, edge.resolver.new_query(HANDLER, "y"))
+        sim.run(until=sim.now + 1 * MINUTES)
+        assert all(len(r.seen) == 1 for r in recorders)
+
+    def test_propagation_survives_incomplete_views(self):
+        sim, overlay = build(r=6)
+        # amputate the origin's view down to a single member: re-flood
+        # through that member must still reach everyone
+        origin = overlay.rendezvous[0]
+        members = sorted(origin.view.known_ids())
+        for pid in members[1:]:
+            origin.view.remove(pid, sim.now, reason="test")
+        recorders = []
+        for rdv in overlay.rendezvous:
+            rec = Recorder(rdv.name)
+            rdv.resolver.register_handler(HANDLER, rec)
+            recorders.append(rec)
+        origin.resolver.send_query(None, origin.resolver.new_query(HANDLER, "z"))
+        sim.run(until=sim.now + 1 * MINUTES)
+        assert all(len(r.seen) >= 1 for r in recorders)
+
+    def test_hop_count_increments_for_remote_deliveries(self):
+        sim, overlay = build(r=3)
+        recorders = {}
+        for rdv in overlay.rendezvous:
+            rec = Recorder(rdv.name)
+            rdv.resolver.register_handler(HANDLER, rec)
+            recorders[rdv.name] = rec
+        origin = overlay.rendezvous[0]
+        origin.resolver.send_query(None, origin.resolver.new_query(HANDLER, "h"))
+        sim.run(until=sim.now + 1 * MINUTES)
+        assert recorders["rdv-0"].seen[0].hop_count == 0  # local delivery
+        assert recorders["rdv-1"].seen[0].hop_count >= 1

@@ -1,0 +1,74 @@
+"""Unit tests for rendezvous wire message types."""
+
+from repro.advertisement.rdvadv import RdvAdvertisement
+from repro.ids import NET_PEER_GROUP_ID, PeerID
+from repro.rendezvous.messages import (
+    LeaseCancel,
+    LeaseGrant,
+    LeaseRequest,
+    PeerViewProbe,
+    PeerViewReferral,
+    PeerViewResponse,
+    PeerViewUpdate,
+    PropagatedMessage,
+)
+
+
+def adv(n=1):
+    return RdvAdvertisement(
+        rdv_peer_id=PeerID.from_int(NET_PEER_GROUP_ID, n),
+        group_id=NET_PEER_GROUP_ID,
+        route_hint=f"tcp://h{n}:1",
+    )
+
+
+class TestPeerViewMessages:
+    def test_probe_wants_referral_by_default(self):
+        assert PeerViewProbe(adv()).want_referral
+
+    def test_verification_probe_flag(self):
+        assert not PeerViewProbe(adv(), want_referral=False).want_referral
+
+    def test_sizes_exceed_advertisement_size(self):
+        a = adv()
+        for msg in (
+            PeerViewProbe(a),
+            PeerViewUpdate(a),
+            PeerViewResponse(a),
+        ):
+            assert msg.size_bytes() > a.size_bytes()
+
+    def test_referral_size_scales_with_batch(self):
+        one = PeerViewReferral([adv(1)])
+        three = PeerViewReferral([adv(1), adv(2), adv(3)])
+        assert three.size_bytes() > 2 * one.size_bytes()
+
+
+class TestLeaseMessages:
+    def test_request_fields(self):
+        pid = PeerID.from_int(NET_PEER_GROUP_ID, 9)
+        req = LeaseRequest(edge_peer=pid, edge_address="tcp://e:1")
+        assert not req.renewal
+        assert req.size_bytes() > 0
+
+    def test_grant_carries_duration(self):
+        grant = LeaseGrant(rdv_adv=adv(), lease_duration=1800.0)
+        assert grant.lease_duration == 1800.0
+        assert grant.size_bytes() > adv().size_bytes()
+
+    def test_cancel(self):
+        pid = PeerID.from_int(NET_PEER_GROUP_ID, 9)
+        assert LeaseCancel(peer=pid).size_bytes() > 0
+
+
+class TestPropagatedMessage:
+    def test_size_includes_visited_list(self):
+        pids = [PeerID.from_int(NET_PEER_GROUP_ID, i) for i in range(5)]
+        empty = PropagatedMessage(payload="x", ttl=3)
+        full = PropagatedMessage(payload="x", ttl=3, visited=pids)
+        assert full.size_bytes() > empty.size_bytes()
+
+    def test_size_includes_payload(self):
+        big = PropagatedMessage(payload="y" * 1000, ttl=3)
+        small = PropagatedMessage(payload="y", ttl=3)
+        assert big.size_bytes() > small.size_bytes()

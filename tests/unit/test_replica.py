@@ -1,0 +1,86 @@
+"""Unit tests for the ReplicaPeer function."""
+
+import pytest
+
+from repro.discovery.replica import (
+    ReplicaFunction,
+    SHA1_MAX_HASH,
+    index_tuple_key,
+    sha1_hash,
+)
+
+
+class TestIndexTupleKey:
+    def test_concatenation_order(self):
+        # §3.3: type + attribute + value, e.g. "PeerNameTest"
+        assert index_tuple_key(("Peer", "Name", "Test")) == "PeerNameTest"
+
+    def test_plain_concatenation_is_faithful_even_if_ambiguous(self):
+        # JXTA concatenates without separators, so distinct tuples can
+        # collide ("a"+"bc" == "ab"+"c"); we reproduce the spec as-is.
+        assert index_tuple_key(("a", "bc", "d")) == index_tuple_key(("ab", "c", "d"))
+
+
+class TestSha1Hash:
+    def test_range(self):
+        h = sha1_hash("PeerNameTest")
+        assert 0 <= h < SHA1_MAX_HASH
+
+    def test_deterministic(self):
+        assert sha1_hash("x") == sha1_hash("x")
+
+    def test_known_value(self):
+        import hashlib
+        expected = int.from_bytes(hashlib.sha1(b"PeerNameTest").digest(), "big")
+        assert sha1_hash("PeerNameTest") == expected
+
+
+class TestPaperExample:
+    """The worked example of §3.3 / Table 1: hash = 116, MAX_HASH = 200,
+    6 peerview members -> replica rank floor(116*6/200) = 3 (peer R4)."""
+
+    def test_rank_is_3(self):
+        fn = ReplicaFunction(max_hash=200, hash_fn=lambda key: 116)
+        assert fn.rank(("Peer", "Name", "Test"), member_count=6) == 3
+
+    def test_rank_scales_with_view_size(self):
+        fn = ReplicaFunction(max_hash=200, hash_fn=lambda key: 116)
+        assert fn.rank(("Peer", "Name", "Test"), member_count=3) == 1
+        assert fn.rank(("Peer", "Name", "Test"), member_count=12) == 6
+
+
+class TestReplicaFunction:
+    def test_rank_always_in_range(self):
+        fn = ReplicaFunction()
+        for value in ("a", "b", "c", "PeerNameTest", "x" * 100):
+            for count in (1, 2, 6, 100, 580):
+                rank = fn.rank(("jxta:PA", "Name", value), count)
+                assert 0 <= rank < count
+
+    def test_rank_uniformity(self):
+        fn = ReplicaFunction()
+        counts = [0] * 10
+        for i in range(5000):
+            rank = fn.rank(("jxta:PA", "Name", f"value-{i}"), 10)
+            counts[rank] += 1
+        assert all(350 < c < 650 for c in counts)
+
+    def test_bad_member_count_rejected(self):
+        fn = ReplicaFunction()
+        with pytest.raises(ValueError):
+            fn.rank(("t", "a", "v"), 0)
+
+    def test_bad_max_hash_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicaFunction(max_hash=0)
+
+    def test_hash_out_of_range_rejected(self):
+        fn = ReplicaFunction(max_hash=10, hash_fn=lambda key: 10)
+        with pytest.raises(ValueError):
+            fn.rank(("t", "a", "v"), 5)
+
+    def test_same_tuple_same_replica_everywhere(self):
+        # two peers with identical views must compute the same replica
+        fn_a, fn_b = ReplicaFunction(), ReplicaFunction()
+        t = ("jxta:PA", "Name", "Test")
+        assert fn_a.rank(t, 50) == fn_b.rank(t, 50)

@@ -1,0 +1,127 @@
+"""Unit tests for Process and PeriodicTask."""
+
+import pytest
+
+from repro.sim import PeriodicTask, Process, SchedulingError, Simulator
+
+
+class TestProcess:
+    def test_start_stop_lifecycle(self):
+        sim = Simulator()
+        p = Process(sim, "p")
+        assert not p.started
+        p.start()
+        assert p.started
+        p.stop()
+        assert not p.started
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        p = Process(sim)
+        p.start()
+        with pytest.raises(SchedulingError):
+            p.start()
+
+    def test_stop_when_not_started_is_noop(self):
+        sim = Simulator()
+        Process(sim).stop()  # must not raise
+
+    def test_hooks_called(self):
+        sim = Simulator()
+        calls = []
+
+        class P(Process):
+            def on_start(self):
+                calls.append("start")
+
+            def on_stop(self):
+                calls.append("stop")
+
+        p = P(sim)
+        p.start()
+        p.stop()
+        assert calls == ["start", "stop"]
+
+
+class TestPeriodicTask:
+    def test_ticks_at_interval(self):
+        sim = Simulator()
+        times = []
+        task = PeriodicTask(sim, 30.0, lambda: times.append(sim.now))
+        task.start()
+        sim.run(until=100.0)
+        assert times == [30.0, 60.0, 90.0]
+        assert task.ticks == 3
+
+    def test_immediate_first_tick(self):
+        sim = Simulator()
+        times = []
+        task = PeriodicTask(sim, 30.0, lambda: times.append(sim.now), immediate=True)
+        task.start()
+        sim.run(until=70.0)
+        assert times == [0.0, 30.0, 60.0]
+
+    def test_stop_halts_ticking(self):
+        sim = Simulator()
+        times = []
+        task = PeriodicTask(sim, 10.0, lambda: times.append(sim.now))
+        task.start()
+        sim.run(until=25.0)
+        task.stop()
+        sim.run(until=100.0)
+        assert times == [10.0, 20.0]
+
+    def test_start_jitter_is_deterministic_and_bounded(self):
+        def first_tick(seed):
+            sim = Simulator(seed=seed)
+            times = []
+            t = PeriodicTask(
+                sim, 30.0, lambda: times.append(sim.now), name="pv", start_jitter=5.0
+            )
+            t.start()
+            sim.run(until=40.0)
+            return times[0]
+
+        a, b = first_tick(1), first_tick(1)
+        assert a == b
+        assert 30.0 <= a < 35.0
+        assert first_tick(1) != first_tick(2)
+
+    def test_invalid_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PeriodicTask(sim, 0.0, lambda: None)
+        with pytest.raises(ValueError):
+            PeriodicTask(sim, -1.0, lambda: None)
+
+    def test_negative_jitter_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PeriodicTask(sim, 1.0, lambda: None, start_jitter=-1.0)
+
+    def test_reschedule_moves_next_tick(self):
+        sim = Simulator()
+        times = []
+        task = PeriodicTask(sim, 30.0, lambda: times.append(sim.now))
+        task.start()
+        sim.run(until=10.0)
+        task.reschedule(5.0)  # next tick at t=15 instead of t=30
+        sim.run(until=50.0)
+        assert times == [15.0, 45.0]
+
+    def test_reschedule_requires_running(self):
+        sim = Simulator()
+        task = PeriodicTask(sim, 30.0, lambda: None)
+        with pytest.raises(SchedulingError):
+            task.reschedule()
+
+    def test_callback_exception_propagates(self):
+        sim = Simulator()
+
+        def boom():
+            raise RuntimeError("boom")
+
+        task = PeriodicTask(sim, 1.0, boom)
+        task.start()
+        with pytest.raises(RuntimeError):
+            sim.run(until=2.0)

@@ -1,0 +1,88 @@
+"""Unit tests for the message tracer."""
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.deploy import OverlayDescription, build_overlay
+from repro.network import Network
+from repro.sim import MINUTES, Simulator
+from repro.sim.tracing import MessageTracer
+
+
+def build(seed=21):
+    sim = Simulator(seed=seed)
+    network = Network(sim)
+    overlay = build_overlay(
+        sim, network, PlatformConfig(), OverlayDescription(rendezvous_count=4)
+    )
+    return sim, network, overlay
+
+
+class TestMessageTracer:
+    def test_captures_peerview_traffic(self):
+        sim, network, overlay = build()
+        tracer = MessageTracer(network)
+        overlay.start()
+        sim.run(until=3 * MINUTES)
+        assert len(tracer) > 0
+        assert tracer.count("PeerViewProbe") > 0
+        assert tracer.count("PeerViewResponse") > 0
+
+    def test_payload_type_filter(self):
+        sim, network, overlay = build()
+        tracer = MessageTracer(network, payload_types=("PeerViewProbe",))
+        overlay.start()
+        sim.run(until=3 * MINUTES)
+        assert len(tracer) == tracer.count("PeerViewProbe")
+        assert tracer.count("PeerViewResponse") == 0
+
+    def test_address_filter(self):
+        sim, network, overlay = build()
+        target = overlay.rendezvous[0].address
+        tracer = MessageTracer(network, addresses=(target,))
+        overlay.start()
+        sim.run(until=3 * MINUTES)
+        assert len(tracer) > 0
+        for entry in tracer.entries:
+            assert target in (entry.src, entry.dst)
+
+    def test_detach_stops_capture(self):
+        sim, network, overlay = build()
+        tracer = MessageTracer(network)
+        overlay.start()
+        sim.run(until=1 * MINUTES)
+        count = len(tracer)
+        tracer.detach()
+        sim.run(until=5 * MINUTES)
+        assert len(tracer) == count
+
+    def test_limit_truncates(self):
+        sim, network, overlay = build()
+        tracer = MessageTracer(network, limit=5)
+        overlay.start()
+        sim.run(until=5 * MINUTES)
+        assert len(tracer) == 5
+        assert tracer.truncated
+        assert "truncated" in tracer.format()
+
+    def test_between_and_format(self):
+        sim, network, overlay = build()
+        tracer = MessageTracer(network)
+        overlay.start()
+        sim.run(until=2 * MINUTES)
+        window = tracer.between(0.0, 60.0)
+        assert all(0.0 <= e.time <= 60.0 for e in window)
+        text = tracer.format(last=3)
+        assert len(text.splitlines()) <= 4
+
+    def test_bad_limit_rejected(self):
+        sim, network, _ = build()
+        with pytest.raises(ValueError):
+            MessageTracer(network, limit=0)
+
+    def test_traffic_still_flows_while_traced(self):
+        sim, network, overlay = build()
+        MessageTracer(network)
+        overlay.start()
+        sim.run(until=10 * MINUTES)
+        assert overlay.group.property_2_satisfied()

@@ -1,0 +1,88 @@
+"""Unit tests for the walk helper functions."""
+
+import pytest
+
+from repro.advertisement.rdvadv import RdvAdvertisement
+from repro.discovery.walker import (
+    WALK_DOWN,
+    WALK_UP,
+    walk_next_target,
+    walk_start_targets,
+)
+from repro.ids import NET_PEER_GROUP_ID, PeerID
+from repro.rendezvous.peerview import PeerView
+
+
+def adv(n):
+    return RdvAdvertisement(
+        rdv_peer_id=PeerID.from_int(NET_PEER_GROUP_ID, n),
+        group_id=NET_PEER_GROUP_ID,
+        route_hint=f"tcp://h{n}:1",
+    )
+
+
+def view_with(local, members):
+    view = PeerView(adv(local))
+    for n in members:
+        view.upsert(adv(n), now=0.0)
+    return view
+
+
+def pid(n):
+    return PeerID.from_int(NET_PEER_GROUP_ID, n)
+
+
+class TestWalkStartTargets:
+    def test_interior_peer_starts_both_legs(self):
+        targets = walk_start_targets(view_with(50, [10, 90]))
+        assert (pid(90), WALK_UP) in targets
+        assert (pid(10), WALK_DOWN) in targets
+        assert len(targets) == 2
+
+    def test_bottom_peer_starts_up_only(self):
+        targets = walk_start_targets(view_with(5, [10, 90]))
+        assert targets == [(pid(10), WALK_UP)]
+
+    def test_top_peer_starts_down_only(self):
+        targets = walk_start_targets(view_with(99, [10, 90]))
+        assert targets == [(pid(90), WALK_DOWN)]
+
+    def test_lonely_peer_has_no_legs(self):
+        assert walk_start_targets(view_with(50, [])) == []
+
+
+class TestWalkNextTarget:
+    def test_up_is_upper_neighbor(self):
+        view = view_with(50, [10, 60, 90])
+        assert walk_next_target(view, WALK_UP) == pid(60)
+
+    def test_down_is_lower_neighbor(self):
+        view = view_with(50, [10, 60, 90])
+        assert walk_next_target(view, WALK_DOWN) == pid(10)
+
+    def test_end_of_list_returns_none(self):
+        view = view_with(99, [10])
+        assert walk_next_target(view, WALK_UP) is None
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValueError):
+            walk_next_target(view_with(50, [10]), 0)
+
+
+class TestWalkTermination:
+    def test_full_walk_visits_each_member_once_per_direction(self):
+        # simulate the walk by hand over a set of consistent views
+        members = [10, 20, 30, 40, 50, 60]
+        views = {n: view_with(n, [m for m in members if m != n]) for n in members}
+        start = 30
+        visited = []
+        for direction in (WALK_UP, WALK_DOWN):
+            current = start
+            while True:
+                nxt = walk_next_target(views[current], direction)
+                if nxt is None:
+                    break
+                n = int.from_bytes(nxt.unique_value, "big")
+                visited.append(n)
+                current = n
+        assert sorted(visited) == [10, 20, 40, 50, 60]
