@@ -2,13 +2,18 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples experiments experiments-full clean
+.PHONY: install test smoke-faults bench examples experiments experiments-full clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
+# pythonpath = ["src"] in pyproject.toml makes the src layout
+# importable without an install or a manual PYTHONPATH prefix
 test:
-	$(PYTHON) -m pytest tests/
+	$(PYTHON) -m pytest -x -q
+
+smoke-faults:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.faults_exp --smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

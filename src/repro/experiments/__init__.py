@@ -12,6 +12,8 @@ baselines_exp complexity comparison vs Chord / flooding / central
 ablation  §4.1 freshness-vs-bandwidth parameter sweep
 churn_exp §5 future work: discovery under volatility
 complex_queries §5 future work: wildcard and range lookups
+faults_exp §5 future work: fault matrix + invariant checking
+
 transport_exp Figure 1's transports: TCP vs HTTP relay
 calibration_exp DESIGN §5b constants, ablated
 ========  ====================================================

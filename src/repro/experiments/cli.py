@@ -16,6 +16,7 @@ from repro.experiments import (
     calibration_exp,
     churn_exp,
     complex_queries,
+    faults_exp,
     fig3_left,
     fig3_right,
     fig4_left,
@@ -34,6 +35,7 @@ EXPERIMENTS = {
     "ablation": ablation.main,
     "churn": churn_exp.main,
     "complex-queries": complex_queries.main,
+    "faults": faults_exp.main,
     "transport": transport_exp.main,
     "calibration": calibration_exp.main,
 }

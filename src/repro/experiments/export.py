@@ -19,6 +19,16 @@ from repro.metrics.series import sample_at
 from repro.sim import MINUTES
 
 
+def _csv_cell(value: Any) -> Any:
+    # nested dataclasses (e.g. a fault Scenario) reduce to their name;
+    # dicts to a compact JSON string
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return getattr(value, "name", str(value))
+    if isinstance(value, dict):
+        return json.dumps(value, sort_keys=True)
+    return value
+
+
 def _dataclass_rows_to_csv(rows: List[Any], path: Path) -> None:
     import csv
 
@@ -33,7 +43,7 @@ def _dataclass_rows_to_csv(rows: List[Any], path: Path) -> None:
         writer = csv.writer(fh)
         writer.writerow(fields)
         for row in rows:
-            writer.writerow([getattr(row, name) for name in fields])
+            writer.writerow([_csv_cell(getattr(row, name)) for name in fields])
 
 
 def save_results(name: str, results: Any, out_dir: Path) -> List[Path]:

@@ -1,0 +1,283 @@
+"""Declarative fault actions and scenarios.
+
+A :class:`Scenario` is a named, immutable list of :class:`FaultAction`
+dataclasses, each pinned to a simulated instant.  The
+:class:`~repro.faults.engine.ScenarioEngine` schedules every action on
+the simulation kernel; the actions themselves only describe *what*
+happens — all randomness (loss coin flips, reorder delays, churn
+draws) is deferred to the engine's named RNG streams so that a
+scenario replayed under the same master seed is byte-identical.
+
+The action vocabulary covers the fault classes the DHT-churn
+literature injects (cf. PAPERS.md: Kong et al. on DHT routing under
+churn, Caron et al. on self-stabilizing discovery):
+
+========================  ============================================
+action                    layer
+========================  ============================================
+:class:`LossWindow`       Network — probabilistic message loss
+:class:`DuplicateWindow`  Network — at-least-once duplication
+:class:`ReorderWindow`    Network — extra delay, reorders messages
+:class:`PartitionSites`   Network — sever one WAN site pair
+:class:`HealSites`        Network — restore one WAN site pair
+:class:`HealAllSites`     Network — clear every partition
+:class:`CrashPeer`        Peer — abrupt failure (no goodbye)
+:class:`RestartPeer`      Peer — rejoin from the configured seeds
+:class:`ChurnWindow`      Peer — autonomous kill/revive cycling
+:class:`ClockSkew`        Timer — scale ``PEERVIEW_INTERVAL``
+:class:`CorruptPeerView`  State — deliberate ordering corruption
+========================  ============================================
+
+:class:`CorruptPeerView` exists to *validate the invariant checker
+itself*: a scenario that corrupts a peerview's total order must be
+flagged, otherwise the checker is vacuous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.engine import FaultContext
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """Base: one fault applied at simulated time ``at`` (seconds)."""
+
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"action time must be >= 0 (got {self.at})")
+
+    @property
+    def kind(self) -> str:
+        """Short name used in logs and traces."""
+        return type(self).__name__
+
+    def apply(self, ctx: "FaultContext") -> None:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class _Window(FaultAction):
+    """Base for actions active over ``[at, at + duration)``."""
+
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration <= 0:
+            raise ValueError(f"window duration must be > 0 (got {self.duration})")
+
+
+@dataclass(frozen=True)
+class LossWindow(_Window):
+    """Drop each message with probability ``rate`` during the window.
+
+    ``sites`` optionally restricts the fault to messages whose source
+    or destination site is in the set (empty = all traffic).
+    """
+
+    rate: float = 0.1
+    sites: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not (0.0 < self.rate <= 1.0):
+            raise ValueError(f"loss rate must be in (0, 1] (got {self.rate})")
+
+    def apply(self, ctx: "FaultContext") -> None:
+        ctx.controller.add_loss_window(
+            self.at, self.at + self.duration, self.rate, self.sites
+        )
+
+
+@dataclass(frozen=True)
+class DuplicateWindow(_Window):
+    """Deliver ``copies`` extra copies of each message with
+    probability ``probability`` during the window."""
+
+    probability: float = 0.1
+    copies: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not (0.0 < self.probability <= 1.0):
+            raise ValueError(
+                f"duplication probability must be in (0, 1] (got {self.probability})"
+            )
+        if self.copies < 1:
+            raise ValueError(f"copies must be >= 1 (got {self.copies})")
+
+    def apply(self, ctx: "FaultContext") -> None:
+        ctx.controller.add_duplicate_window(
+            self.at, self.at + self.duration, self.probability, self.copies
+        )
+
+
+@dataclass(frozen=True)
+class ReorderWindow(_Window):
+    """Add a uniform extra delay in ``[0, max_extra_delay)`` to each
+    message during the window, reordering it w.r.t. later sends."""
+
+    max_extra_delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.max_extra_delay <= 0:
+            raise ValueError(
+                f"max_extra_delay must be > 0 (got {self.max_extra_delay})"
+            )
+
+    def apply(self, ctx: "FaultContext") -> None:
+        ctx.controller.add_reorder_window(
+            self.at, self.at + self.duration, self.max_extra_delay
+        )
+
+
+@dataclass(frozen=True)
+class PartitionSites(FaultAction):
+    """Sever the WAN path between two Grid'5000 sites."""
+
+    site_a: str = ""
+    site_b: str = ""
+
+    def apply(self, ctx: "FaultContext") -> None:
+        ctx.network.partition(self.site_a, self.site_b)
+
+
+@dataclass(frozen=True)
+class HealSites(FaultAction):
+    """Restore the WAN path between two sites."""
+
+    site_a: str = ""
+    site_b: str = ""
+
+    def apply(self, ctx: "FaultContext") -> None:
+        ctx.network.heal(self.site_a, self.site_b)
+
+
+@dataclass(frozen=True)
+class HealAllSites(FaultAction):
+    """Clear every active partition."""
+
+    def apply(self, ctx: "FaultContext") -> None:
+        ctx.network.heal_all()
+
+
+@dataclass(frozen=True)
+class CrashPeer(FaultAction):
+    """Abrupt failure of one peer (address vanishes, state lost)."""
+
+    peer: str = ""
+
+    def apply(self, ctx: "FaultContext") -> None:
+        target = ctx.peer(self.peer)
+        if target.running:
+            target.crash()
+
+
+@dataclass(frozen=True)
+class RestartPeer(FaultAction):
+    """Restart a crashed/stopped peer; it re-bootstraps from seeds."""
+
+    peer: str = ""
+
+    def apply(self, ctx: "FaultContext") -> None:
+        target = ctx.peer(self.peer)
+        if not target.running:
+            target.start()
+
+
+@dataclass(frozen=True)
+class ChurnWindow(_Window):
+    """Cycle ``targets`` through exponential up/down sessions for the
+    window's duration (every rendezvous peer when ``targets`` is
+    empty).  Crash/restart reuse :class:`~repro.network.ChurnProcess`.
+    """
+
+    mean_session: float = 600.0
+    mean_downtime: float = 120.0
+    targets: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.mean_session <= 0 or self.mean_downtime <= 0:
+            raise ValueError("mean session and downtime must be > 0")
+
+    def apply(self, ctx: "FaultContext") -> None:
+        ctx.start_churn(self)
+
+
+@dataclass(frozen=True)
+class ClockSkew(FaultAction):
+    """Scale one peer's ``PEERVIEW_INTERVAL`` timer by ``factor``
+    (e.g. 2.0 halves its probe frequency; 1.0 restores nominal)."""
+
+    peer: str = ""
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.factor <= 0:
+            raise ValueError(f"skew factor must be > 0 (got {self.factor})")
+
+    def apply(self, ctx: "FaultContext") -> None:
+        ctx.skew_clock(self.peer, self.factor)
+
+
+@dataclass(frozen=True)
+class CorruptPeerView(FaultAction):
+    """Deliberately corrupt a rendezvous' peerview order book.
+
+    ``mode="swap"`` exchanges two adjacent entries (breaks the total
+    order); ``mode="duplicate"`` re-inserts an existing ID (breaks
+    duplicate-freedom).  Used to prove the invariant checker detects
+    what it claims to detect.
+    """
+
+    peer: str = ""
+    mode: str = "swap"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.mode not in ("swap", "duplicate"):
+            raise ValueError(f"unknown corruption mode {self.mode!r}")
+
+    def apply(self, ctx: "FaultContext") -> None:
+        ctx.corrupt_peerview(self.peer, self.mode)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, reproducible composition of fault actions."""
+
+    name: str
+    actions: Tuple[FaultAction, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario needs a name")
+        object.__setattr__(self, "actions", tuple(self.actions))
+        for action in self.actions:
+            if not isinstance(action, FaultAction):
+                raise TypeError(f"not a FaultAction: {action!r}")
+
+    @property
+    def horizon(self) -> float:
+        """Latest instant any action is still active."""
+        end = 0.0
+        for action in self.actions:
+            end = max(end, action.at + getattr(action, "duration", 0.0))
+        return end
+
+    def fault_free(self) -> bool:
+        return not self.actions
+
+
+#: The trivial scenario: no faults, pure baseline run.
+FAULT_FREE = Scenario(name="fault-free", description="no faults injected")

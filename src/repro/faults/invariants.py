@@ -1,0 +1,273 @@
+"""Runtime invariant checking over the protocol stack.
+
+The LC-DHT's correctness rests on structural invariants the paper
+states but never mechanically checks:
+
+* **peerview order** (§3.2): every local peerview is an ordered list
+  by peer ID — totally ordered, duplicate-free, containing the local
+  peer, and consistent with its entry table;
+* **replica ranks** (§3.3): ``ReplicaPeer`` must land in ``[0, l)``
+  for every index tuple, whatever the current view size;
+* **lease lifetime**: no edge lease on a rendezvous outlives its
+  grant (``expires_at <= now + lease_duration``);
+* **Property (2) convergence**: the ratio ``l / (r_up − 1)`` is the
+  health signal the experiments track; the checker emits it to
+  ``repro.metrics`` every probe round as kind
+  ``invariant.convergence``.
+
+:class:`InvariantChecker` wires into the simulation kernel's trace
+hooks (phase ``"done"``): after every peerview probe-round tick it
+re-checks the ticking rendezvous against all invariants, so a
+corruption is flagged within one round of being introduced — under
+faults as well as in clean runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.events import EventLog
+from repro.sim.kernel import EventHandle, Simulator
+
+#: Index tuples spread over the hash space to exercise the rank
+#: function each round (type, attribute, value as the LC-DHT hashes).
+DEFAULT_PROBE_TUPLES: Tuple[Tuple[str, str, str], ...] = tuple(
+    ("jxta:PA", "Name", f"invariant-probe-{i}") for i in range(8)
+)
+
+
+class InvariantViolationError(AssertionError):
+    """Raised in ``raise_on_violation`` mode when an invariant fails."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected invariant breach."""
+
+    time: float
+    observer: str
+    invariant: str
+    detail: str
+
+    def format(self) -> str:
+        return f"t={self.time:.1f}s {self.observer}: {self.invariant} — {self.detail}"
+
+
+class InvariantChecker:
+    """Continuously assert peerview/replica/lease invariants.
+
+    Parameters
+    ----------
+    sim:
+        The simulator whose trace hooks drive the per-round checks.
+    rendezvous:
+        The rendezvous peers to observe.
+    log:
+        Optional event log; violations land as kind
+        ``invariant.violation`` and per-round convergence ratios as
+        kind ``invariant.convergence`` (value = ``l / (r_up − 1)``).
+    probe_tuples:
+        Index tuples used to exercise the replica rank function.
+    raise_on_violation:
+        If True the first violation raises
+        :class:`InvariantViolationError` (test mode); otherwise
+        violations are recorded and the run continues.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rendezvous: Sequence[object],
+        log: Optional[EventLog] = None,
+        probe_tuples: Sequence[Tuple[str, str, str]] = DEFAULT_PROBE_TUPLES,
+        raise_on_violation: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.rendezvous = list(rendezvous)
+        self.log = log
+        self.probe_tuples = list(probe_tuples)
+        self.raise_on_violation = raise_on_violation
+        self.violations: List[Violation] = []
+        self.rounds_checked = 0
+        #: peerview tick label -> peer (PeriodicTask labels are
+        #: ``peerview:<short-id>.tick``; the protocol object survives
+        #: crash/restart so the mapping is stable for a whole run)
+        self._by_label: Dict[str, object] = {
+            f"{p.peerview_protocol.name}.tick": p for p in self.rendezvous
+        }
+        #: stable bound-method reference so detach() can unregister
+        self._hook = self._on_event
+        self._attached = False
+        self.attach()
+
+    # ------------------------------------------------------------------
+    # kernel wiring
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        if not self._attached:
+            self.sim.add_trace_hook(self._hook, phases=("done",))
+            self._attached = True
+
+    def detach(self) -> None:
+        if self._attached:
+            self.sim.remove_trace_hook(self._hook)
+            self._attached = False
+
+    def _on_event(self, now: float, phase: str, handle: EventHandle) -> None:
+        # a fault action just mutated the system: sweep everything, so
+        # an injected corruption is flagged at the instant it appears
+        if handle.label.startswith("fault."):
+            self.check_all()
+            return
+        peer = self._by_label.get(handle.label)
+        if peer is None or not peer.running:
+            return
+        self.rounds_checked += 1
+        self.check_peer(peer, now)
+        self._emit_convergence(peer, now)
+
+    # ------------------------------------------------------------------
+    # the invariants
+    # ------------------------------------------------------------------
+    def check_peer(self, peer, now: Optional[float] = None) -> List[Violation]:
+        """Run every invariant against one rendezvous peer; returns the
+        violations found (also recorded on the checker)."""
+        now = self.sim.now if now is None else now
+        found: List[Violation] = []
+        view = peer.view
+        ids = view.ordered_ids()
+
+        # (1) total order, duplicate-free
+        for i in range(len(ids) - 1):
+            if not ids[i] < ids[i + 1]:
+                which = "duplicate entry" if ids[i] == ids[i + 1] else "order inversion"
+                found.append(
+                    self._violate(
+                        now, peer.name, "peerview.total-order",
+                        f"{which} at rank {i} "
+                        f"({ids[i].short()} !< {ids[i + 1].short()})",
+                    )
+                )
+                break
+
+        # (2) order book consistent with the entry table + self
+        expected = set(view.known_ids()) | {view.local_peer_id}
+        if set(ids) != expected or len(ids) != len(expected):
+            found.append(
+                self._violate(
+                    now, peer.name, "peerview.consistency",
+                    f"ordered list has {len(ids)} ids for "
+                    f"{len(expected)} members",
+                )
+            )
+
+        # (3) local peer is a member of its own view
+        if view.local_peer_id not in ids:
+            found.append(
+                self._violate(
+                    now, peer.name, "peerview.self-membership",
+                    "local peer missing from its own ordered list",
+                )
+            )
+
+        # (4) replica ranks within [0, l) for every probe tuple
+        member_count = view.member_count()
+        replica_fn = peer.discovery.replica_fn
+        for index_tuple in self.probe_tuples:
+            try:
+                rank = replica_fn.rank(index_tuple, member_count)
+            except ValueError as exc:
+                found.append(
+                    self._violate(
+                        now, peer.name, "replica.rank-domain", str(exc)
+                    )
+                )
+                continue
+            if not (0 <= rank < member_count):
+                found.append(
+                    self._violate(
+                        now, peer.name, "replica.rank-range",
+                        f"rank {rank} outside [0, {member_count}) "
+                        f"for {index_tuple!r}",
+                    )
+                )
+
+        # (5) leases never outlive their grant
+        lease_duration = peer.config.lease_duration
+        for lease in peer.lease_server._leases.values():
+            if lease.expires_at > now + lease_duration + 1e-9:
+                found.append(
+                    self._violate(
+                        now, peer.name, "lease.lifetime",
+                        f"lease for {lease.edge_peer.short()} expires "
+                        f"{lease.expires_at - now:.1f}s out "
+                        f"(> {lease_duration:.0f}s grant)",
+                    )
+                )
+        return found
+
+    def check_all(self) -> List[Violation]:
+        """On-demand sweep over every running rendezvous."""
+        found: List[Violation] = []
+        for peer in self.rendezvous:
+            if peer.running:
+                found.extend(self.check_peer(peer))
+        return found
+
+    # ------------------------------------------------------------------
+    # metrics & reporting
+    # ------------------------------------------------------------------
+    def _emit_convergence(self, peer, now: float) -> None:
+        if self.log is None:
+            return
+        up = sum(1 for p in self.rendezvous if p.running)
+        target = max(1, up - 1)
+        self.log.record(
+            time=now,
+            observer=peer.name,
+            kind="invariant.convergence",
+            value=peer.view.size / target,
+        )
+
+    def _violate(
+        self, now: float, observer: str, invariant: str, detail: str
+    ) -> Violation:
+        violation = Violation(now, observer, invariant, detail)
+        self.violations.append(violation)
+        if self.log is not None:
+            self.log.record(
+                time=now,
+                observer=observer,
+                kind="invariant.violation",
+                subject=invariant,
+            )
+        if self.raise_on_violation:
+            raise InvariantViolationError(violation.format())
+        return violation
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> Dict[str, int]:
+        """Violation counts per invariant name."""
+        out: Dict[str, int] = {}
+        for v in self.violations:
+            out[v.invariant] = out.get(v.invariant, 0) + 1
+        return out
+
+    def report(self) -> str:
+        if self.ok:
+            return (
+                f"invariants OK — {self.rounds_checked} probe rounds, "
+                f"0 violations"
+            )
+        lines = [
+            f"invariants VIOLATED — {len(self.violations)} violations "
+            f"over {self.rounds_checked} probe rounds:"
+        ]
+        lines.extend("  " + v.format() for v in self.violations[:20])
+        if len(self.violations) > 20:
+            lines.append(f"  ... and {len(self.violations) - 20} more")
+        return "\n".join(lines)

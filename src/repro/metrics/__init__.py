@@ -12,9 +12,11 @@ time-series extraction and plain-text table/series renderers used by
 from repro.metrics.events import EventLog, EventRecord, attach_peerview_logger
 from repro.metrics.series import (
     StepSeries,
+    convergence_ratio_series,
     latency_stats,
     peerview_size_series,
     sample_at,
+    value_series,
 )
 from repro.metrics.report import render_series, render_table
 
@@ -23,9 +25,11 @@ __all__ = [
     "EventRecord",
     "StepSeries",
     "attach_peerview_logger",
+    "convergence_ratio_series",
     "latency_stats",
     "peerview_size_series",
     "render_series",
     "render_table",
     "sample_at",
+    "value_series",
 ]

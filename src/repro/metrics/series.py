@@ -68,6 +68,42 @@ def peerview_size_series(
     return StepSeries(times, values)
 
 
+def value_series(
+    log: EventLog, kind: str, observer: str | None = None
+) -> StepSeries:
+    """Step series over the ``value`` field of all records of ``kind``
+    (optionally one observer) — e.g. the ``invariant.convergence``
+    ratios the fault experiments track."""
+    records = sorted(log.records(kind=kind, observer=observer), key=lambda r: r.time)
+    return StepSeries(
+        [r.time for r in records], [r.value for r in records]
+    )
+
+
+def convergence_ratio_series(log: EventLog) -> StepSeries:
+    """Overlay-wide Property (2) convergence: mean ``l / (r_up − 1)``
+    per emission round, from the invariant checker's
+    ``invariant.convergence`` records."""
+    records = sorted(
+        log.records(kind="invariant.convergence"), key=lambda r: r.time
+    )
+    times: List[float] = []
+    values: List[float] = []
+    # aggregate one value per probe-round instant (records at the same
+    # emission time are averaged across observers)
+    i = 0
+    while i < len(records):
+        j = i
+        total = 0.0
+        while j < len(records) and records[j].time == records[i].time:
+            total += records[j].value
+            j += 1
+        times.append(records[i].time)
+        values.append(total / (j - i))
+        i = j
+    return StepSeries(times, values)
+
+
 def sample_at(series: StepSeries, start: float, stop: float, step: float) -> Tuple[List[float], List[float]]:
     """Sample a step series on a regular grid (inclusive of ``stop``)."""
     if step <= 0:

@@ -14,7 +14,12 @@ model with the right *relative* delays reproduces the paper's effects;
 see DESIGN.md §2 for the substitution argument.
 """
 
-from repro.network.churn import ChurnModel, ExponentialChurn, ParetoChurn
+from repro.network.churn import (
+    ChurnModel,
+    ChurnProcess,
+    ExponentialChurn,
+    ParetoChurn,
+)
 from repro.network.latency import (
     ConstantLatency,
     Grid5000Latency,
@@ -24,13 +29,21 @@ from repro.network.latency import (
 from repro.network.message import Envelope
 from repro.network.site import GRID5000_SITES, Node, Site, place_nodes
 from repro.network.stats import TrafficStats
-from repro.network.transport import DeliveryError, Network
+from repro.network.transport import (
+    DeliveryError,
+    FaultController,
+    FaultDecision,
+    Network,
+)
 
 __all__ = [
     "ChurnModel",
+    "ChurnProcess",
     "ConstantLatency",
     "DeliveryError",
     "Envelope",
+    "FaultController",
+    "FaultDecision",
     "ExponentialChurn",
     "GRID5000_SITES",
     "Grid5000Latency",

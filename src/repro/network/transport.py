@@ -19,6 +19,7 @@ are dropped, exactly like TCP connect failures to a dead host.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
 from repro.network.latency import Grid5000Latency, LatencyModel
@@ -37,6 +38,45 @@ DEFAULT_SW_OVERHEAD: float = 0.8e-3
 
 class DeliveryError(Exception):
     """Raised for malformed sends (unknown source, bad sizes)."""
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """Per-message verdict of a fault controller.
+
+    ``drop`` loses the message outright; ``duplicates`` schedules that
+    many extra copies of the delivery (modelling retransmission bugs /
+    at-least-once relays); ``extra_delay`` is added to the computed
+    transit delay, which reorders the message relative to later sends.
+    """
+
+    drop: bool = False
+    duplicates: int = 0
+    extra_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.duplicates < 0:
+            raise ValueError(f"duplicates must be >= 0 (got {self.duplicates})")
+        if self.extra_delay < 0:
+            raise ValueError(f"extra_delay must be >= 0 (got {self.extra_delay})")
+
+
+#: No-fault verdict shared by controllers with nothing to say.
+NO_FAULT = FaultDecision()
+
+
+class FaultController:
+    """Interface consulted once per :meth:`Network.send`.
+
+    Implementations must draw any randomness from the simulator's named
+    RNG streams so fault injection preserves bit-for-bit replay (see
+    ``repro.faults.engine.NetworkFaultController``).
+    """
+
+    def intercept(
+        self, envelope: Envelope, src_site: str, dst_site: str
+    ) -> FaultDecision:
+        raise NotImplementedError
 
 
 class Network:
@@ -89,6 +129,11 @@ class Network:
         self.peak_queue_delay = 0.0
         #: blocked unordered site pairs (WAN partitions)
         self._partitions: set[frozenset] = set()
+        #: optional per-message fault controller (repro.faults)
+        self.fault_controller: Optional[FaultController] = None
+        #: messages dropped / duplicated by the fault controller
+        self.faulted_drops = 0
+        self.faulted_duplicates = 0
 
     # ------------------------------------------------------------------
     # attachment
@@ -206,9 +251,17 @@ class Network:
             + self.sw_overhead
         )
 
+        decision = NO_FAULT
+        if self.fault_controller is not None:
+            decision = self.fault_controller.intercept(
+                envelope, src_node.site.name, dst_site.name
+            )
+        delay += decision.extra_delay
+
         lost = (
             dst_entry is None
             or self.is_partitioned(src_node.site.name, dst_site.name)
+            or decision.drop
             or (
                 self.loss_rate > 0.0
                 and self.sim.rng.stream("network.loss").random() < self.loss_rate
@@ -216,6 +269,8 @@ class Network:
         )
         if lost:
             self.stats.record_drop()
+            if decision.drop:
+                self.faulted_drops += 1
             if on_drop is not None:
                 self.sim.schedule(delay, on_drop, envelope, label="net.drop")
             return envelope
@@ -223,6 +278,11 @@ class Network:
         self.sim.schedule(
             delay, self._deliver, envelope, on_drop, label="net.deliver"
         )
+        for _ in range(decision.duplicates):
+            self.faulted_duplicates += 1
+            self.sim.schedule(
+                delay, self._deliver, envelope, None, label="net.deliver.dup"
+            )
         return envelope
 
     def _deliver(

@@ -104,7 +104,7 @@ class Simulator:
         self._max_events = max_events
         self._running = False
         self._stop_requested = False
-        self._trace_hooks: list[TraceHook] = []
+        self._trace_hooks: list[tuple[TraceHook, frozenset[str]]] = []
 
     # ------------------------------------------------------------------
     # introspection
@@ -124,10 +124,28 @@ class Simulator:
         """Number of live (non-cancelled) events still queued."""
         return sum(1 for h in self._queue if h.pending)
 
-    def add_trace_hook(self, hook: TraceHook) -> None:
-        """Register a hook called as ``hook(now, phase, handle)`` with
-        phase ``"fire"`` just before each event executes."""
-        self._trace_hooks.append(hook)
+    def add_trace_hook(
+        self, hook: TraceHook, phases: tuple[str, ...] = ("fire",)
+    ) -> None:
+        """Register a hook called as ``hook(now, phase, handle)``.
+
+        ``phases`` selects the lifecycle points delivered to the hook:
+        ``"fire"`` just before each event executes (the default, and
+        the only phase historically emitted) and ``"done"`` right after
+        the event callback returns — the post-state view that runtime
+        invariant checkers (``repro.faults.invariants``) observe."""
+        valid = {"fire", "done"}
+        unknown = set(phases) - valid
+        if unknown:
+            raise ValueError(f"unknown trace phases: {sorted(unknown)}")
+        self._trace_hooks.append((hook, frozenset(phases)))
+
+    def remove_trace_hook(self, hook: TraceHook) -> None:
+        """Unregister a hook previously added (idempotent).  Compared
+        by equality, so passing the same bound method works."""
+        self._trace_hooks = [
+            (h, p) for h, p in self._trace_hooks if not (h == hook)
+        ]
 
     # ------------------------------------------------------------------
     # scheduling
@@ -178,9 +196,13 @@ class Simulator:
                 raise SimulationLimitExceeded(
                     f"exceeded max_events={self._max_events}"
                 )
-            for hook in self._trace_hooks:
-                hook(self.clock.now, "fire", handle)
+            for hook, phases in self._trace_hooks:
+                if "fire" in phases:
+                    hook(self.clock.now, "fire", handle)
             handle.fn(*handle.args)
+            for hook, phases in self._trace_hooks:
+                if "done" in phases:
+                    hook(self.clock.now, "done", handle)
             return True
         return False
 

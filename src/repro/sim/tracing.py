@@ -13,11 +13,13 @@ sequences, or dump it to text to eyeball a run::
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.network.transport import Network
 from repro.sim.clock import format_time
+from repro.sim.kernel import EventHandle, Simulator
 
 
 @dataclass(frozen=True)
@@ -43,6 +45,45 @@ def _payload_type_name(payload) -> str:
     if body is not None:
         return type(body).__name__
     return type(payload).__name__
+
+
+class KernelTraceRecorder:
+    """Record every fired kernel event as ``(time, label)``.
+
+    The event-trace fingerprint of a run: two simulations with the
+    same seed and scenario must produce *identical* recordings, which
+    is what the determinism regression tests assert (and what makes
+    fault scenarios replayable for debugging).  Labels rather than
+    callables are recorded so traces compare across processes.
+    """
+
+    def __init__(self, sim: Simulator, limit: int = 2_000_000) -> None:
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1 (got {limit})")
+        self.sim = sim
+        self.limit = limit
+        self.entries: List[Tuple[float, str]] = []
+        self.truncated = False
+        sim.add_trace_hook(self._on_event, phases=("fire",))
+
+    def _on_event(self, now: float, phase: str, handle: EventHandle) -> None:
+        if len(self.entries) < self.limit:
+            self.entries.append((now, handle.label))
+        else:
+            self.truncated = True
+
+    def detach(self) -> None:
+        self.sim.remove_trace_hook(self._on_event)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def digest(self) -> str:
+        """SHA-256 over the whole trace — a compact equality witness."""
+        h = hashlib.sha256()
+        for time, label in self.entries:
+            h.update(f"{time!r}:{label}\n".encode("utf-8"))
+        return h.hexdigest()
 
 
 class MessageTracer:

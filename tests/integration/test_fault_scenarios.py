@@ -1,0 +1,96 @@
+"""Integration: fault scenarios, invariant checking, trace determinism.
+
+Covers the acceptance bar of the fault tooling:
+
+* a seeded scenario that corrupts a peerview's ordering is flagged by
+  the invariant checker;
+* a fault-free 45-peer run reports zero violations while still
+  reproducing the paper's Property-(2) failure (plateau below r − 1);
+* same-seed reruns of any fault scenario produce identical event
+  traces, captured through the kernel's trace hooks;
+* no module reaches for the global ``random`` module during a
+  simulation — every draw must come from the sim's named RNG streams.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments import faults_exp
+from repro.faults import Scenario
+from repro.sim import MINUTES
+
+
+class TestFaultMatrixAcceptance:
+    def test_corruption_scenario_is_flagged(self):
+        res = faults_exp.run_scenario(
+            faults_exp.corruption_canary(6 * MINUTES),
+            r=10, duration=12 * MINUTES, seed=5,
+        )
+        assert res.violations > 0
+        assert "peerview.total-order" in res.violation_kinds
+
+    def test_fault_free_45_peer_run_clean_but_property2_fails(self):
+        res = faults_exp.run_scenario(
+            Scenario(name="fault-free"), r=45, duration=60 * MINUTES, seed=1
+        )
+        assert res.violations == 0
+        assert res.rounds_checked > 0
+        # the paper's §4.1 finding: l never *stays* at r − 1
+        assert res.plateau < res.r - 1
+        assert res.convergence < 1.0
+
+    def test_fault_scenarios_hold_invariants(self):
+        duration = 12 * MINUTES
+        for scenario in faults_exp.fault_matrix(duration, 10):
+            res = faults_exp.run_scenario(
+                scenario, r=10, duration=duration, seed=2
+            )
+            assert res.violations == 0, (
+                f"{scenario.name}: {res.violation_kinds}"
+            )
+
+
+class TestTraceDeterminism:
+    @pytest.mark.parametrize("index", [0, 1, 4])  # baseline, loss, churn
+    def test_same_seed_same_event_trace(self, index):
+        duration = 12 * MINUTES
+        scenario = faults_exp.fault_matrix(duration, 8)[index]
+        a = faults_exp.run_scenario(scenario, r=8, duration=duration, seed=9)
+        b = faults_exp.run_scenario(scenario, r=8, duration=duration, seed=9)
+        assert a.trace_digest == b.trace_digest
+        assert a.events_fired == b.events_fired
+        assert a.violations == b.violations
+
+    def test_different_seed_different_trace(self):
+        duration = 12 * MINUTES
+        scenario = faults_exp.fault_matrix(duration, 8)[1]
+        a = faults_exp.run_scenario(scenario, r=8, duration=duration, seed=9)
+        b = faults_exp.run_scenario(scenario, r=8, duration=duration, seed=10)
+        assert a.trace_digest != b.trace_digest
+
+
+class TestNoGlobalRandom:
+    def test_simulation_never_touches_global_random(self, monkeypatch):
+        """Fails loudly if any module draws from the module-level
+        ``random`` functions instead of the sim's named RNG streams —
+        module-level draws depend on import order and would silently
+        break byte-identical replays."""
+
+        def forbidden(*_args, **_kwargs):
+            raise AssertionError(
+                "global random.* used during a simulation; draw from "
+                "sim.rng.stream(<name>) instead"
+            )
+
+        for fn in (
+            "random", "randint", "randrange", "choice", "choices",
+            "shuffle", "sample", "uniform", "expovariate", "gauss",
+            "betavariate", "paretovariate",
+        ):
+            monkeypatch.setattr(random, fn, forbidden)
+
+        duration = 12 * MINUTES
+        scenario = faults_exp.fault_matrix(duration, 8)[4]  # churn
+        res = faults_exp.run_scenario(scenario, r=8, duration=duration, seed=3)
+        assert res.events_fired > 0

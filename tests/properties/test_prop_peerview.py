@@ -103,6 +103,30 @@ def test_rank_and_id_at_are_inverse(members, k):
     assert view.rank_of(view.id_at(rank)) == rank
 
 
+@given(
+    st.lists(st.integers(0, 999), min_size=0, max_size=40, unique=True).flatmap(
+        lambda ids: st.permutations(ids).map(lambda perm: (ids, list(perm)))
+    )
+)
+def test_any_insertion_order_yields_same_total_order(ids_and_perm):
+    # merge convergence: the total order a peerview settles on depends
+    # only on the member *set*, never on arrival order, and upserting
+    # duplicates never creates duplicate entries
+    ids, perm = ids_and_perm
+    reference = PeerView(adv(LOCAL))
+    for n in sorted(ids):
+        reference.upsert(adv(n), 0.0)
+    shuffled = PeerView(adv(LOCAL))
+    for n in perm:
+        shuffled.upsert(adv(n), 0.0)
+    for n in perm[: len(perm) // 2]:  # re-deliveries refresh, not add
+        shuffled.upsert(adv(n), 1.0)
+    assert shuffled.ordered_ids() == reference.ordered_ids()
+    ordered = shuffled.ordered_ids()
+    assert all(a < b for a, b in zip(ordered, ordered[1:]))
+    assert len(set(ordered)) == len(ordered)
+
+
 @given(st.sets(st.integers(0, 999), min_size=0, max_size=40), st.integers(0, 2**32))
 def test_referrals_never_include_self_or_prober(members, seed):
     import random

@@ -39,3 +39,24 @@ def test_rank_formula_matches_paper(hash_value, count):
     fn = ReplicaFunction(hash_fn=lambda key: hash_value)
     expected = hash_value * count // SHA1_MAX_HASH
     assert fn.rank(("t", "a", "v"), count) == expected
+
+
+@given(tuples_, counts)
+def test_rank_stable_under_peerview_growth(index_tuple, count):
+    # one peer joining moves any tuple's replica rank by at most one
+    # position: growth never teleports responsibility across the view
+    fn = ReplicaFunction()
+    before = fn.rank(index_tuple, count)
+    after = fn.rank(index_tuple, count + 1)
+    assert after - before in (0, 1)
+
+
+@given(tuples_, st.integers(min_value=2, max_value=1000))
+def test_rank_stable_under_peerview_shrink(index_tuple, count):
+    # symmetric: one peer leaving moves the rank down by at most one,
+    # and the result stays a valid index into the smaller view
+    fn = ReplicaFunction()
+    before = fn.rank(index_tuple, count)
+    after = fn.rank(index_tuple, count - 1)
+    assert before - after in (0, 1)
+    assert 0 <= after < count - 1

@@ -99,5 +99,5 @@ class TestCli:
         assert set(cli.EXPERIMENTS) == {
             "table1", "fig3-left", "fig3-right", "fig4-left",
             "fig4-right", "baselines", "ablation", "churn",
-            "complex-queries", "transport", "calibration",
+            "complex-queries", "faults", "transport", "calibration",
         }
