@@ -15,13 +15,23 @@ test:
 smoke-faults:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.faults_exp --smoke
 
+# Runs the kernel/protocol benchmarks and appends the numbers to the
+# committed trajectory (BENCH_kernel.json).  Override BENCH_LABEL to
+# tag the entry, e.g. `make bench BENCH_LABEL="PR 3"`.
+BENCH_LABEL ?= workspace
+
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	mkdir -p .benchmarks
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only \
+		--benchmark-json=.benchmarks/latest.json
+	$(PYTHON) scripts/bench_trajectory.py record .benchmarks/latest.json \
+		--label "$(BENCH_LABEL)"
+	$(PYTHON) scripts/bench_trajectory.py show
 
 examples:
 	@for f in examples/*.py; do \
 		echo "== $$f"; \
-		$(PYTHON) $$f || exit 1; \
+		PYTHONPATH=src $(PYTHON) $$f || exit 1; \
 	done
 
 # reduced, shape-preserving runs of every paper artefact (minutes)

@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Maintain the committed benchmark trajectory (``BENCH_kernel.json``).
+
+Every PR that touches the hot paths appends its numbers to the
+trajectory, so regressions are visible as history rather than folklore.
+Three subcommands:
+
+``record``
+    Fold a pytest-benchmark JSON export into the trajectory file::
+
+        python -m pytest benchmarks/ --benchmark-only \\
+            --benchmark-json=.benchmarks/latest.json
+        python scripts/bench_trajectory.py record .benchmarks/latest.json \\
+            --label "PR 2" [--commit abc1234]
+
+``show``
+    Print the trajectory as a table (per benchmark, oldest first, with
+    the speedup of each entry relative to the first one).
+
+``check``
+    Assert a floor: fail (exit 1) if a benchmark's min time exceeds a
+    bound.  Used by the CI ``bench-smoke`` job::
+
+        python scripts/bench_trajectory.py check .benchmarks/latest.json \\
+            --bench test_event_loop_throughput --max-seconds 0.8
+
+Only ``min`` is compared across entries: it is the statistic least
+polluted by scheduler noise (the median moves tens of percent between
+otherwise identical runs on shared machines; the min is stable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+
+def _load_trajectory(path: Path) -> dict:
+    if path.exists():
+        return json.loads(path.read_text())
+    return {"benchmarks": {}}
+
+
+def _stats_of(report: dict) -> dict:
+    """name -> stats dict from a pytest-benchmark JSON export."""
+    out = {}
+    for bench in report.get("benchmarks", []):
+        out[bench["name"]] = bench["stats"]
+    return out
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    report = json.loads(Path(args.report).read_text())
+    trajectory = _load_trajectory(TRAJECTORY)
+    machine = report.get("machine_info", {})
+    recorded_at = report.get("datetime", "")
+    stats = _stats_of(report)
+    if not stats:
+        print(f"no benchmarks found in {args.report}", file=sys.stderr)
+        return 1
+    for name, s in stats.items():
+        entry = {
+            "label": args.label,
+            "recorded_at": recorded_at,
+            "min_s": s["min"],
+            "median_s": s["median"],
+            "mean_s": s["mean"],
+            "stddev_s": s["stddev"],
+            "rounds": s["rounds"],
+            "python": machine.get("python_version", ""),
+        }
+        if args.commit:
+            entry["commit"] = args.commit
+        trajectory["benchmarks"].setdefault(name, []).append(entry)
+        print(f"recorded {name}: min {s['min'] * 1e3:.1f} ms ({args.label})")
+    TRAJECTORY.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"wrote {TRAJECTORY}")
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    trajectory = _load_trajectory(TRAJECTORY)
+    benches = trajectory.get("benchmarks", {})
+    if not benches:
+        print("trajectory is empty")
+        return 0
+    for name, entries in benches.items():
+        print(f"\n{name}")
+        base = entries[0]["min_s"]
+        for e in entries:
+            speedup = base / e["min_s"] if e["min_s"] else float("inf")
+            commit = e.get("commit", "")
+            print(
+                f"  {e['label']:<28} min {e['min_s'] * 1e3:9.1f} ms"
+                f"  median {e['median_s'] * 1e3:9.1f} ms"
+                f"  x{speedup:5.2f}  {commit}"
+            )
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    report = json.loads(Path(args.report).read_text())
+    stats = _stats_of(report)
+    s = stats.get(args.bench)
+    if s is None:
+        print(f"benchmark {args.bench!r} not in {args.report}", file=sys.stderr)
+        return 1
+    min_s = s["min"]
+    print(f"{args.bench}: min {min_s * 1e3:.1f} ms (floor {args.max_seconds * 1e3:.0f} ms)")
+    if min_s > args.max_seconds:
+        print("FAIL: benchmark slower than the floor", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("record", help="append a pytest-benchmark export")
+    p.add_argument("report", help="pytest-benchmark JSON file")
+    p.add_argument("--label", required=True, help="trajectory entry label")
+    p.add_argument("--commit", default="", help="git commit of the run")
+    p.set_defaults(fn=cmd_record)
+
+    p = sub.add_parser("show", help="print the trajectory")
+    p.set_defaults(fn=cmd_show)
+
+    p = sub.add_parser("check", help="assert a floor on one benchmark")
+    p.add_argument("report", help="pytest-benchmark JSON file")
+    p.add_argument("--bench", required=True, help="benchmark name")
+    p.add_argument(
+        "--max-seconds", type=float, required=True,
+        help="fail if the min time exceeds this many seconds",
+    )
+    p.set_defaults(fn=cmd_check)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -92,8 +92,20 @@ class Advertisement:
         return '<?xml version="1.0"?>\n' + body
 
     def size_bytes(self) -> int:
-        """Approximate wire size: the UTF-8 length of the XML form."""
-        return len(self.to_xml().encode("utf-8"))
+        """Approximate wire size: the UTF-8 length of the XML form.
+
+        Memoized per field-value tuple: every message send asks for the
+        size, and rebuilding the ElementTree each time dominated the
+        protocol-stack benchmark.  The memo is keyed on the current
+        field values, so mutating an advertisement transparently
+        recomputes the size."""
+        fields = tuple(self._fields())
+        memo = getattr(self, "_size_memo", None)
+        if memo is not None and memo[0] == fields:
+            return memo[1]
+        size = len(self.to_xml().encode("utf-8"))
+        self._size_memo = (fields, size)
+        return size
 
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:

@@ -11,13 +11,35 @@ flush of the local searcher cache, in order to avoid cache speedup",
 
 The cache is clock-free: callers pass the current simulated time, so
 the same object works in any simulation or in real time.
+
+Performance design
+------------------
+Queries used to scan every entry with ``fnmatchcase``.  The cache now
+maintains three hash indexes over the entries:
+
+* type → keys (``adv_type`` restriction);
+* (type, attribute, value) → keys (exact-value match);
+* (type, attribute) → keys (attribute present with any value).
+
+Exact and attribute-presence queries resolve through the indexes and
+then sort the (usually tiny) candidate set by insertion sequence so
+results come back in the same order — and honour ``limit`` the same
+way — as the historical linear scan.  Values containing glob
+metacharacters (``*``, ``?``, ``[``) fall back to a scan restricted by
+the type index.
+
+Expiry purging is incremental: entries sit in a min-heap keyed by
+``expires_at``, so :meth:`purge_expired` pops only the expired prefix
+instead of scanning the whole cache (stale heap records left behind by
+overwrites and removals are skipped by an identity check).
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from fnmatch import fnmatchcase
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.advertisement.base import (
     Advertisement,
@@ -26,7 +48,13 @@ from repro.advertisement.base import (
 )
 
 
-@dataclass
+def _has_glob(value: str) -> bool:
+    """True if ``value`` uses fnmatch metacharacters (``*``, ``?``,
+    ``[``) and therefore cannot be answered from the exact index."""
+    return any(c in value for c in "*?[")
+
+
+@dataclass(slots=True)
 class CacheEntry:
     """One cached advertisement plus its bookkeeping."""
 
@@ -37,6 +65,9 @@ class CacheEntry:
     local: bool
     #: Residual expiration to hand to peers we forward the adv to.
     expiration: float
+    #: Insertion sequence of the *key* (stable across overwrites), used
+    #: to report query results in insertion order like a plain dict scan.
+    seq: int = -1
 
     def expired(self, now: float) -> bool:
         return now >= self.expires_at
@@ -47,6 +78,18 @@ class AdvertisementCache:
 
     def __init__(self) -> None:
         self._entries: Dict[str, CacheEntry] = {}
+        self._seq = 0
+        #: adv type -> keys of entries of that type.
+        self._by_type: Dict[str, Set[str]] = {}
+        #: (type, attribute, value) -> keys whose index tuples match exactly.
+        self._by_attr: Dict[Tuple[str, str, str], Set[str]] = {}
+        #: (type, attribute) -> keys carrying the attribute with any value.
+        self._by_attr_any: Dict[Tuple[str, str], Set[str]] = {}
+        #: (expires_at, tiebreak, key, entry) records; stale ones are
+        #: skipped on pop.  The tiebreak keeps heap comparisons off the
+        #: (orderless) CacheEntry when times collide.
+        self._expiry_heap: List[Tuple[float, int, str, CacheEntry]] = []
+        self._heap_pushes = 0
         self.inserts = 0
         self.purged = 0
 
@@ -55,6 +98,63 @@ class AdvertisementCache:
 
     def __contains__(self, adv: Advertisement) -> bool:
         return adv.unique_key() in self._entries
+
+    # ------------------------------------------------------------------
+    # index maintenance
+    # ------------------------------------------------------------------
+    def _index_add(self, key: str, adv: Advertisement) -> None:
+        adv_type = adv.ADV_TYPE
+        bucket = self._by_type.get(adv_type)
+        if bucket is None:
+            bucket = self._by_type[adv_type] = set()
+        bucket.add(key)
+        for _, attr, val in adv.index_tuples():
+            exact = self._by_attr.get((adv_type, attr, val))
+            if exact is None:
+                exact = self._by_attr[(adv_type, attr, val)] = set()
+            exact.add(key)
+            any_ = self._by_attr_any.get((adv_type, attr))
+            if any_ is None:
+                any_ = self._by_attr_any[(adv_type, attr)] = set()
+            any_.add(key)
+
+    def _index_discard(self, key: str, adv: Advertisement) -> None:
+        adv_type = adv.ADV_TYPE
+        bucket = self._by_type.get(adv_type)
+        if bucket is not None:
+            bucket.discard(key)
+        for _, attr, val in adv.index_tuples():
+            exact = self._by_attr.get((adv_type, attr, val))
+            if exact is not None:
+                exact.discard(key)
+            any_ = self._by_attr_any.get((adv_type, attr))
+            if any_ is not None:
+                any_.discard(key)
+
+    def _store(self, key: str, entry: CacheEntry) -> None:
+        old = self._entries.get(key)
+        if old is not None:
+            # Overwrite: same key keeps its position in iteration order
+            # (dict semantics), so the new entry inherits the sequence.
+            entry.seq = old.seq
+            if old.adv is not entry.adv:
+                self._index_discard(key, old.adv)
+                self._index_add(key, entry.adv)
+        else:
+            entry.seq = self._seq
+            self._seq += 1
+            self._index_add(key, entry.adv)
+        self._entries[key] = entry
+        self._heap_pushes += 1
+        heapq.heappush(
+            self._expiry_heap, (entry.expires_at, self._heap_pushes, key, entry)
+        )
+        self.inserts += 1
+
+    def _drop(self, key: str, entry: CacheEntry) -> None:
+        del self._entries[key]
+        self._index_discard(key, entry.adv)
+        # The expiry-heap record goes stale and is skipped on pop.
 
     # ------------------------------------------------------------------
     # mutation
@@ -75,8 +175,7 @@ class AdvertisementCache:
             local=True,
             expiration=expiration,
         )
-        self._entries[adv.unique_key()] = entry
-        self.inserts += 1
+        self._store(adv.unique_key(), entry)
         return entry
 
     def store_remote(
@@ -99,26 +198,39 @@ class AdvertisementCache:
             local=False,
             expiration=expiration,
         )
-        self._entries[key] = entry
-        self.inserts += 1
+        self._store(key, entry)
         return entry
 
     def remove(self, adv: Advertisement) -> bool:
         """Remove an advertisement.  Returns True if it was present."""
-        return self._entries.pop(adv.unique_key(), None) is not None
+        key = adv.unique_key()
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        self._drop(key, entry)
+        return True
 
     def purge_expired(self, now: float) -> int:
         """Drop expired entries; returns how many were dropped."""
-        dead = [k for k, e in self._entries.items() if e.expired(now)]
-        for k in dead:
-            del self._entries[k]
-        self.purged += len(dead)
-        return len(dead)
+        heap = self._expiry_heap
+        entries = self._entries
+        dropped = 0
+        while heap and heap[0][0] <= now:
+            _, _, key, entry = heapq.heappop(heap)
+            if entries.get(key) is entry and entry.expired(now):
+                self._drop(key, entry)
+                dropped += 1
+        self.purged += dropped
+        return dropped
 
     def flush(self) -> int:
         """Drop everything (the benchmark's anti-cache-speedup step)."""
         n = len(self._entries)
         self._entries.clear()
+        self._by_type.clear()
+        self._by_attr.clear()
+        self._by_attr_any.clear()
+        self._expiry_heap.clear()
         return n
 
     # ------------------------------------------------------------------
@@ -137,6 +249,22 @@ class AdvertisementCache:
             return None
         return entry
 
+    def _attr_keys(
+        self, adv_type: Optional[str], attribute: str, value: Optional[str]
+    ) -> Set[str]:
+        """Candidate keys for an indexed attribute query (exact value or
+        attribute-presence).  ``adv_type`` of None unions over all types."""
+        types = (adv_type,) if adv_type is not None else tuple(self._by_type)
+        out: Set[str] = set()
+        for t in types:
+            if value is None:
+                found = self._by_attr_any.get((t, attribute))
+            else:
+                found = self._by_attr.get((t, attribute, value))
+            if found:
+                out |= found
+        return out
+
     def search(
         self,
         adv_type: Optional[str],
@@ -151,24 +279,66 @@ class AdvertisementCache:
         of None match everything of the type; otherwise the named index
         attribute must glob-match ``value`` (``*``/``?`` wildcards, as
         in the JXTA discovery API).
+
+        Results come back in insertion order (oldest key first), exactly
+        as the historical full-scan implementation returned them.
         """
+        entries = self._entries
+        if attribute is not None and value is not None and _has_glob(value):
+            return self._search_glob(adv_type, attribute, value, now, limit)
+
+        if attribute is None:
+            if adv_type is None:
+                candidates: Iterable[CacheEntry] = entries.values()
+            else:
+                keys = self._by_type.get(adv_type, ())
+                candidates = sorted(
+                    (entries[k] for k in keys), key=lambda e: e.seq
+                )
+        else:
+            keys = self._attr_keys(adv_type, attribute, value)
+            candidates = sorted(
+                (entries[k] for k in keys), key=lambda e: e.seq
+            )
+
         out: List[Advertisement] = []
-        for entry in self._entries.values():
+        for entry in candidates:
+            if entry.expired(now):
+                continue
+            out.append(entry.adv)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def _search_glob(
+        self,
+        adv_type: Optional[str],
+        attribute: str,
+        value: str,
+        now: float,
+        limit: Optional[int],
+    ) -> List[Advertisement]:
+        """Wildcard fallback: fnmatch scan over the type-restricted set."""
+        entries = self._entries
+        if adv_type is None:
+            candidates: Iterable[CacheEntry] = entries.values()
+        else:
+            keys = self._by_type.get(adv_type, ())
+            candidates = sorted(
+                (entries[k] for k in keys), key=lambda e: e.seq
+            )
+        out: List[Advertisement] = []
+        for entry in candidates:
             if entry.expired(now):
                 continue
             adv = entry.adv
-            if adv_type is not None and adv.ADV_TYPE != adv_type:
+            matched = False
+            for _, attr, val in adv.index_tuples():
+                if attr == attribute and fnmatchcase(val, value):
+                    matched = True
+                    break
+            if not matched:
                 continue
-            if attribute is not None:
-                matched = False
-                for t, attr, val in adv.index_tuples():
-                    if attr == attribute and (
-                        value is None or fnmatchcase(val, value)
-                    ):
-                        matched = True
-                        break
-                if not matched:
-                    continue
             out.append(adv)
             if limit is not None and len(out) >= limit:
                 break

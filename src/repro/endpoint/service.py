@@ -39,7 +39,7 @@ def _body_size(body: Any) -> int:
     return 256
 
 
-@dataclass
+@dataclass(slots=True)
 class EndpointMessage:
     """A JXTA message addressed to a service on a destination peer.
 

@@ -68,13 +68,42 @@ def main(argv=None) -> int:
         metavar="DIR",
         help="also write raw result data (CSV/JSON) under DIR",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run under cProfile: print the hottest functions and dump "
+            "the full profile next to the experiment (see --profile-out)"
+        ),
+    )
+    parser.add_argument(
+        "--profile-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help=(
+            "where to dump the cProfile stats file (default: "
+            "profile-<experiment>.prof in the working directory); "
+            "inspect with 'python -m pstats' or snakeviz"
+        ),
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        metavar="N",
+        help="how many functions to show in the profile report (default 25)",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         if args.experiment == "all":
             print(f"\n{'=' * 70}\n{name}\n{'=' * 70}")
-        results = EXPERIMENTS[name](full=args.full, seed=args.seed)
+        if args.profile:
+            results = _run_profiled(name, args)
+        else:
+            results = EXPERIMENTS[name](full=args.full, seed=args.seed)
         if args.out is not None:
             from pathlib import Path
 
@@ -83,6 +112,28 @@ def main(argv=None) -> int:
             for path in save_results(name, results, Path(args.out)):
                 print(f"# wrote {path}")
     return 0
+
+
+def _run_profiled(name: str, args):
+    """Run one experiment under cProfile; report and dump the stats."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        results = EXPERIMENTS[name](full=args.full, seed=args.seed)
+    finally:
+        profiler.disable()
+        dump_path = args.profile_out or f"profile-{name}.prof"
+        profiler.dump_stats(dump_path)
+        stats = pstats.Stats(profiler)
+        print(f"\n# profile: top {args.profile_top} functions by cumulative time")
+        stats.sort_stats("cumulative").print_stats(args.profile_top)
+        print(f"# profile: top {args.profile_top} functions by internal time")
+        stats.sort_stats("tottime").print_stats(args.profile_top)
+        print(f"# profile dumped to {dump_path} (open with 'python -m pstats')")
+    return results
 
 
 if __name__ == "__main__":

@@ -209,6 +209,10 @@ class FaultContext:
         ids = view._sorted_ids
         if not ids:
             return
+        # the order book is mutated behind the view's back, so the
+        # memoised ordered_ids snapshot must be dropped for the
+        # corruption to be observable
+        view.invalidate_ordered_view()
         local_rank = ids.index(view.local_peer_id)
         if mode == "swap":
             if local_rank < len(ids) - 2:  # two entries above local

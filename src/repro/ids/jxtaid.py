@@ -38,7 +38,7 @@ T = TypeVar("T", bound="JxtaID")
 class JxtaID:
     """Base class: an immutable, totally ordered JXTA identifier."""
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_urn")
 
     #: Subclasses set their JXTA type byte here.
     TYPE_BYTE: int = TYPE_CODAT
@@ -63,8 +63,15 @@ class JxtaID:
         return self._value
 
     def urn(self) -> str:
-        """URN form, e.g. ``urn:jxta:uuid-…``."""
-        return _URN_PREFIX + self._value.hex().upper()
+        """URN form, e.g. ``urn:jxta:uuid-…``.  IDs are immutable, so
+        the string is computed once and cached — URNs appear in every
+        advertisement field list and cache key on the hot path."""
+        try:
+            return self._urn
+        except AttributeError:
+            urn = _URN_PREFIX + self._value.hex().upper()
+            self._urn = urn
+            return urn
 
     @classmethod
     def from_urn(cls: Type[T], urn: str) -> T:

@@ -9,7 +9,7 @@ from repro.ids.jxtaid import PeerID
 from repro.rendezvous.peerview import PeerViewEvent
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EventRecord:
     """One logged event."""
 

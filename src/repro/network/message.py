@@ -15,7 +15,7 @@ from typing import Any
 _envelope_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Envelope:
     """One message in flight between two transport addresses."""
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class TrafficStats:
     """Aggregate counters maintained by :class:`repro.network.Network`."""
 

@@ -134,6 +134,11 @@ class Network:
         #: messages dropped / duplicated by the fault controller
         self.faulted_drops = 0
         self.faulted_duplicates = 0
+        # Stream objects are cached here so the per-send path skips the
+        # registry lookup; stream seeds are name-derived, so grabbing
+        # them eagerly draws nothing and changes no replay.
+        self._latency_rng = sim.rng.stream("network.latency")
+        self._loss_rng = sim.rng.stream("network.loss")
 
     # ------------------------------------------------------------------
     # attachment
@@ -244,10 +249,9 @@ class Network:
             src_node.site.name, dst_site.name, dst, size_bytes
         )
 
-        rng = self.sim.rng.stream("network.latency")
         delay = (
             self._egress_delay(src_node, size_bytes)
-            + self.latency.delay(src_node.site, dst_site, rng)
+            + self.latency.delay(src_node.site, dst_site, self._latency_rng)
             + self.sw_overhead
         )
 
@@ -264,7 +268,7 @@ class Network:
             or decision.drop
             or (
                 self.loss_rate > 0.0
-                and self.sim.rng.stream("network.loss").random() < self.loss_rate
+                and self._loss_rng.random() < self.loss_rate
             )
         )
         if lost:

@@ -18,7 +18,7 @@ from repro.ids.jxtaid import PeerID
 _PV_OVERHEAD = 150
 
 
-@dataclass
+@dataclass(slots=True)
 class PeerViewProbe:
     """Active probe: sender expects a response (and, unless this is a
     referral-verification probe, a referral)."""
@@ -33,7 +33,7 @@ class PeerViewProbe:
         return _PV_OVERHEAD + self.rdv_adv.size_bytes()
 
 
-@dataclass
+@dataclass(slots=True)
 class PeerViewUpdate:
     """Passive entry refresh ("update our entry in the peerview of
     rdv", Algorithm 1 line 10): no response expected."""
@@ -44,7 +44,7 @@ class PeerViewUpdate:
         return _PV_OVERHEAD + self.rdv_adv.size_bytes()
 
 
-@dataclass
+@dataclass(slots=True)
 class PeerViewResponse:
     """Probe response carrying the receiver's own advertisement."""
 
@@ -54,7 +54,7 @@ class PeerViewResponse:
         return _PV_OVERHEAD + self.rdv_adv.size_bytes()
 
 
-@dataclass
+@dataclass(slots=True)
 class PeerViewReferral:
     """Separate referral response: randomly chosen rendezvous
     advertisements for other rendezvous peers in the responder's list
@@ -66,7 +66,7 @@ class PeerViewReferral:
         return _PV_OVERHEAD + sum(a.size_bytes() for a in self.rdv_advs)
 
 
-@dataclass
+@dataclass(slots=True)
 class LeaseRequest:
     """Edge asks a rendezvous for (or renews) a lease."""
 
@@ -78,7 +78,7 @@ class LeaseRequest:
         return 300
 
 
-@dataclass
+@dataclass(slots=True)
 class LeaseGrant:
     """Rendezvous accepts an edge for ``lease_duration`` seconds."""
 
@@ -89,7 +89,7 @@ class LeaseGrant:
         return _PV_OVERHEAD + self.rdv_adv.size_bytes()
 
 
-@dataclass
+@dataclass(slots=True)
 class LeaseCancel:
     """Edge departs (or rendezvous evicts an edge)."""
 
@@ -99,7 +99,7 @@ class LeaseCancel:
         return 200
 
 
-@dataclass
+@dataclass(slots=True)
 class PropagatedMessage:
     """Group-propagation wrapper (rendezvous propagation protocol).
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 import bisect
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.advertisement.rdvadv import RdvAdvertisement
 from repro.ids.jxtaid import PeerID
@@ -62,6 +62,9 @@ class PeerView:
         self.local_peer_id = local_adv.rdv_peer_id
         self._entries: Dict[PeerID, PeerViewEntry] = {}
         self._sorted_ids: List[PeerID] = [self.local_peer_id]
+        #: memoised immutable snapshot of ``_sorted_ids``; rebuilt only
+        #: after a membership change (see ``ordered_ids``)
+        self._ordered_view: Optional[Tuple[PeerID, ...]] = None
         self._listeners: List[PeerViewListener] = []
         self.adds = 0
         self.removes = 0
@@ -84,14 +87,29 @@ class PeerView:
         """IDs of remote entries (excludes self)."""
         return self._entries.keys()
 
-    def ordered_ids(self) -> List[PeerID]:
+    def ordered_ids(self) -> Tuple[PeerID, ...]:
         """All member IDs (self included), ascending — the routing list
-        the LC-DHT rank function indexes into."""
-        return list(self._sorted_ids)
+        the LC-DHT rank function indexes into.
+
+        Returns a cached *immutable* snapshot instead of copying the
+        sorted list on every call: rank computations and probe rounds
+        ask for this list constantly, and membership changes (the only
+        thing that invalidates it) are rare by comparison."""
+        view = self._ordered_view
+        if view is None:
+            view = self._ordered_view = tuple(self._sorted_ids)
+        return view
 
     # ------------------------------------------------------------------
     # listeners
     # ------------------------------------------------------------------
+    def invalidate_ordered_view(self) -> None:
+        """Drop the cached :meth:`ordered_ids` snapshot.  Mutations
+        through ``upsert``/``remove`` do this automatically; anything
+        that touches ``_sorted_ids`` directly (the fault engine's
+        corruption injectors, white-box tests) must call it."""
+        self._ordered_view = None
+
     def add_listener(self, listener: PeerViewListener) -> None:
         self._listeners.append(listener)
 
@@ -120,6 +138,7 @@ class PeerView:
             adv=adv, first_seen=now, last_refreshed=now
         )
         bisect.insort(self._sorted_ids, peer_id)
+        self._ordered_view = None
         self.adds += 1
         self._emit(PeerViewEvent(time=now, kind="add", subject=peer_id))
         return "added"
@@ -130,6 +149,7 @@ class PeerView:
             return False
         index = bisect.bisect_left(self._sorted_ids, peer_id)
         del self._sorted_ids[index]
+        self._ordered_view = None
         self.removes += 1
         self._emit(
             PeerViewEvent(time=now, kind="remove", subject=peer_id, reason=reason)

@@ -5,17 +5,41 @@ Design notes
 * The event queue is a binary heap of ``(time, seq, handle)`` tuples.
   ``seq`` is a monotonically increasing tie-breaker so that events
   scheduled for the same instant fire in FIFO order — this makes every
-  run fully deterministic for a given seed.
+  run fully deterministic for a given seed.  Tuples (rather than bare
+  handles) keep the heap's sift comparisons in C: no Python
+  ``__lt__`` frames on the hot path.
 * Cancellation is *lazy*: a cancelled handle stays in the heap and is
   skipped when popped.  This keeps ``cancel()`` O(1), which matters
   because protocol timers (lease renewals, peerview probes) are
   rescheduled constantly at large overlay sizes.
+* Lazily-cancelled handles are *compacted* away once they dominate the
+  heap (see :meth:`Simulator._compact`): at r = 580 the renewal and
+  probe timers leave the heap mostly dead, and compaction keeps pops
+  O(log live) instead of O(log total).  Compaction rebuilds the heap
+  in place from the surviving entries; because the ``(time, seq)``
+  order is total, the fire order is bit-for-bit identical with or
+  without compaction (the determinism regression tests assert this).
+* Live-event accounting is O(1): ``pending_events`` is derived from
+  the scheduled/fired/cancelled counters instead of scanning the heap.
+* ``schedule`` and the ``run`` loop are deliberately inlined (no
+  helper-call chain, handle construction without an ``__init__``
+  frame, a no-hook fast path, ``__slots__`` everywhere): the
+  paper-scale 580-peer run executes ~2 M events, so every avoided
+  Python call is minutes of wall clock.
+* ``run`` suspends the *cyclic* garbage collector while the loop is
+  hot.  Event plumbing (handles, heap tuples, envelopes) is freed
+  promptly by reference counting, but every allocation otherwise
+  pushes the young generation toward a collection that scans the
+  whole live queue — a double-digit percentage of kernel time at
+  paper scale.  The previous enabled/disabled state is restored on
+  exit, even on exceptions.
 * The kernel knows nothing about peers or networks; higher layers
   (``repro.network``, ``repro.rendezvous``...) build on ``schedule``.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
 from typing import Any, Callable, Optional
 
@@ -25,11 +49,29 @@ from repro.sim.rng import RngRegistry
 
 TraceHook = Callable[[float, str, "EventHandle"], None]
 
+#: Compaction trigger: rebuild the heap once at least this many
+#: cancelled handles are queued *and* they outnumber the live ones.
+_COMPACT_MIN_DEAD = 64
+
+#: Pending handles with no owning simulator (direct construction)
+#: carry this sentinel in ``_state`` instead of a Simulator.
+_DETACHED = object()
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+_new_handle = None  # bound to EventHandle.__new__ below the class
+
 
 class EventHandle:
-    """Handle to a scheduled event; allows cancellation and inspection."""
+    """Handle to a scheduled event; allows cancellation and inspection.
 
-    __slots__ = ("time", "seq", "fn", "args", "label", "_cancelled", "_fired")
+    The lifecycle state and the owning-simulator backref share one
+    slot (``_state``) so the scheduling fast path writes a single
+    field: *pending* handles hold their :class:`Simulator` (or the
+    ``_DETACHED`` sentinel when built standalone), *cancelled* ones
+    hold ``None`` and *fired* ones hold ``False``."""
+
+    __slots__ = ("time", "seq", "fn", "args", "_label", "_state")
 
     def __init__(
         self,
@@ -37,46 +79,65 @@ class EventHandle:
         seq: int,
         fn: Callable[..., Any],
         args: tuple,
-        label: str,
+        label: str = "",
+        sim: Optional["Simulator"] = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
-        self.label = label
-        self._cancelled = False
-        self._fired = False
+        self._label = label
+        self._state = _DETACHED if sim is None else sim
+
+    @property
+    def label(self) -> str:
+        """Trace label: the explicit label passed to ``schedule``, or
+        the callback's ``__name__``.  Resolved lazily — most events are
+        never traced, so the fallback ``getattr`` is off the schedule
+        fast path."""
+        lab = getattr(self, "_label", "")
+        return lab or getattr(self.fn, "__name__", "event")
 
     @property
     def cancelled(self) -> bool:
         """True if :meth:`cancel` was called before the event fired."""
-        return self._cancelled
+        return self._state is None
 
     @property
     def fired(self) -> bool:
         """True once the event callback has been invoked."""
-        return self._fired
+        return self._state is False
 
     @property
     def pending(self) -> bool:
         """True while the event is still waiting in the queue."""
-        return not (self._cancelled or self._fired)
+        state = self._state
+        return state is not None and state is not False
 
     def cancel(self) -> bool:
         """Cancel the event.  Returns True if it was still pending."""
-        if self.pending:
-            self._cancelled = True
-            return True
-        return False
+        state = self._state
+        if state is None or state is False:
+            return False
+        self._state = None
+        if state is not _DETACHED:
+            state._note_cancel()
+        return True
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = (
-            "cancelled" if self._cancelled else "fired" if self._fired else "pending"
+            "cancelled" if self._state is None
+            else "fired" if self._state is False else "pending"
         )
-        return f"EventHandle({self.label!r} @ {format_time(self.time)}, {state})"
+        t = getattr(self, "time", None)
+        at = format_time(t) if t is not None else "?"
+        return f"EventHandle({self.label!r} @ {at}, {state})"
+
+
+_new_handle = EventHandle.__new__
 
 
 class Simulator:
@@ -94,17 +155,44 @@ class Simulator:
         ``run`` call (guards against runaway protocol loops).
     """
 
+    __slots__ = (
+        "clock", "rng", "seed", "compactions",
+        "_queue", "_seq", "_events_fired", "_cancelled", "_dead",
+        "_max_events", "_running", "_stop_requested", "_stash",
+        "_in_fast_loop",
+        "_trace_hooks", "_fire_hooks", "_done_hooks", "_hooks_active",
+    )
+
     def __init__(self, seed: int = 0, max_events: Optional[int] = None) -> None:
         self.clock = Clock()
         self.rng = RngRegistry(seed)
         self.seed = seed
-        self._queue: list[EventHandle] = []
+        self._queue: list[tuple[float, int, EventHandle]] = []
+        #: scheduled-event count; doubles as the FIFO tie-breaker
         self._seq = 0
         self._events_fired = 0
+        #: total events ever cancelled (pending_events derives from it)
+        self._cancelled = 0
+        #: cancelled handles still sitting in the heap
+        self._dead = 0
         self._max_events = max_events
         self._running = False
         self._stop_requested = False
+        #: queue contents parked by :meth:`stop` / mid-run control
+        #: changes until the run loop re-dispatches or returns
+        self._stash: Optional[list] = None
+        #: True only while ``run`` executes its check-free fast loop
+        self._in_fast_loop = False
+        #: registered hooks as (hook, phases); one entry per callable
         self._trace_hooks: list[tuple[TraceHook, frozenset[str]]] = []
+        #: phase-split views of ``_trace_hooks`` so the fire loop does a
+        #: single truthiness check per event instead of filtering
+        self._fire_hooks: list[TraceHook] = []
+        self._done_hooks: list[TraceHook] = []
+        #: single flag the fire loop checks before touching hook lists
+        self._hooks_active = False
+        #: how many times the heap was compacted (diagnostics)
+        self.compactions = 0
 
     # ------------------------------------------------------------------
     # introspection
@@ -121,8 +209,10 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for h in self._queue if h.pending)
+        """Number of live (non-cancelled) events still queued.  O(1):
+        derived from the schedule/fire/cancel counters rather than a
+        heap scan."""
+        return self._seq - self._events_fired - self._cancelled
 
     def add_trace_hook(
         self, hook: TraceHook, phases: tuple[str, ...] = ("fire",)
@@ -133,19 +223,44 @@ class Simulator:
         ``"fire"`` just before each event executes (the default, and
         the only phase historically emitted) and ``"done"`` right after
         the event callback returns — the post-state view that runtime
-        invariant checkers (``repro.faults.invariants``) observe."""
+        invariant checkers (``repro.faults.invariants``) observe.
+
+        Registrations are deduplicated per callable: adding a hook that
+        is already registered *merges* the phase sets instead of
+        appending a second entry, so each hook observes every phase at
+        most once per event and :meth:`remove_trace_hook` always
+        removes the whole registration."""
         valid = {"fire", "done"}
         unknown = set(phases) - valid
         if unknown:
             raise ValueError(f"unknown trace phases: {sorted(unknown)}")
-        self._trace_hooks.append((hook, frozenset(phases)))
+        merged = frozenset(phases)
+        for i, (existing, existing_phases) in enumerate(self._trace_hooks):
+            if existing == hook:
+                self._trace_hooks[i] = (existing, existing_phases | merged)
+                break
+        else:
+            self._trace_hooks.append((hook, merged))
+        self._rebuild_hook_lists()
 
     def remove_trace_hook(self, hook: TraceHook) -> None:
         """Unregister a hook previously added (idempotent).  Compared
-        by equality, so passing the same bound method works."""
+        by equality, so passing the same bound method works.  Removes
+        the callable's whole registration (every phase) — duplicate
+        registrations cannot accumulate, see :meth:`add_trace_hook`."""
         self._trace_hooks = [
             (h, p) for h, p in self._trace_hooks if not (h == hook)
         ]
+        self._rebuild_hook_lists()
+
+    def _rebuild_hook_lists(self) -> None:
+        self._fire_hooks = [h for h, p in self._trace_hooks if "fire" in p]
+        self._done_hooks = [h for h, p in self._trace_hooks if "done" in p]
+        self._hooks_active = bool(self._fire_hooks or self._done_hooks)
+        # a hook (un)registered from inside the check-free fast loop:
+        # park the queue so ``run`` re-dispatches to the hooked loop
+        if self._in_fast_loop:
+            self._park()
 
     # ------------------------------------------------------------------
     # scheduling
@@ -160,7 +275,23 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SchedulingError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self.clock.now + delay, fn, *args, label=label)
+        time = self.clock._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        # handle built without an __init__ frame: this is the single
+        # most-executed allocation in a paper-scale run.  The callable,
+        # its args, ``time`` and ``seq`` all live in the heap entry —
+        # the handle itself carries only what outlives the pop: the
+        # lifecycle state and whichever of label/callable the ``label``
+        # property needs for its trace name.
+        handle = _new_handle(EventHandle)
+        if label:
+            handle._label = label
+        else:
+            handle.fn = fn
+        handle._state = self
+        _heappush(self._queue, (time, seq, handle, fn, args))
+        return handle
 
     def schedule_at(
         self,
@@ -170,39 +301,107 @@ class Simulator:
         label: str = "",
     ) -> EventHandle:
         """Schedule ``fn(*args)`` at absolute simulated time ``time``."""
-        if time < self.clock.now:
+        if time < self.clock._now:
             raise SchedulingError(
                 f"cannot schedule at {format_time(time)}; "
-                f"now is {format_time(self.clock.now)}"
+                f"now is {format_time(self.clock._now)}"
             )
-        handle = EventHandle(time, self._seq, fn, args, label or getattr(fn, "__name__", "event"))
-        self._seq += 1
-        heapq.heappush(self._queue, handle)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, fn, args, label, self)
+        _heappush(self._queue, (time, seq, handle, fn, args))
         return handle
+
+    # ------------------------------------------------------------------
+    # cancellation bookkeeping & heap compaction
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        """Called by :meth:`EventHandle.cancel`: O(1) accounting plus a
+        periodic in-place compaction of the mostly-dead heap."""
+        self._cancelled += 1
+        dead = self._dead + 1
+        self._dead = dead
+        if (
+            dead >= _COMPACT_MIN_DEAD
+            and dead > self.pending_events
+            # never compact while entries are parked in the stash: the
+            # rebuild would miss them and desync the dead counter
+            and self._stash is None
+        ):
+            self._compact()
+        elif self._in_fast_loop:
+            # a queued entry just went dead under the check-free fast
+            # loop: park so ``run`` re-dispatches to the careful loop
+            self._park()
+
+    def _park(self) -> None:
+        """Move the queue contents aside so the hot loops' bare
+        ``while queue`` condition fails after the current event."""
+        if self._stash is None and self._queue:
+            self._stash = self._queue[:]
+            self._queue.clear()
+
+    def _unpark(self) -> None:
+        """Restore parked entries (merging any scheduled since — the
+        total (time, seq) order makes the fire order identical)."""
+        stash = self._stash
+        if stash is not None:
+            queue = self._queue
+            if queue:
+                queue.extend(stash)
+                heapq.heapify(queue)
+            else:
+                queue[:] = stash
+            self._stash = None
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify *in place* (callers —
+        including a ``run`` loop in progress — hold references to the
+        queue list, so its identity must not change).  The ``(time,
+        seq)`` order is total, so extraction order is unchanged."""
+        queue = self._queue
+        queue[:] = [entry for entry in queue if entry[2]._state is not None]
+        heapq.heapify(queue)
+        self._dead = 0
+        self.compactions += 1
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _fire(
+        self, t: float, handle: EventHandle, fn: Callable[..., Any], args: tuple
+    ) -> None:
+        """Advance the clock to ``t`` and run ``handle``, delivering
+        trace phases.  ``run`` inlines a copy of this body; keep them
+        in sync (the determinism tests compare both paths)."""
+        clock = self.clock
+        if t > clock._now:
+            clock._now = t
+        handle._state = False
+        fired = self._events_fired + 1
+        self._events_fired = fired
+        if self._max_events is not None and fired > self._max_events:
+            raise SimulationLimitExceeded(
+                f"exceeded max_events={self._max_events}"
+            )
+        if self._fire_hooks:
+            for hook in self._fire_hooks:
+                hook(t, "fire", handle)
+        fn(*args)
+        if self._done_hooks:
+            now = clock._now
+            for hook in self._done_hooks:
+                hook(now, "done", handle)
+
     def step(self) -> bool:
         """Execute the next pending event.  Returns False if queue empty."""
-        while self._queue:
-            handle = heapq.heappop(self._queue)
-            if handle.cancelled:
+        queue = self._queue
+        while queue:
+            t, _, handle, fn, args = _heappop(queue)
+            if handle._state is None:
+                self._dead -= 1
                 continue
-            self.clock._advance_to(handle.time)
-            handle._fired = True
-            self._events_fired += 1
-            if self._max_events is not None and self._events_fired > self._max_events:
-                raise SimulationLimitExceeded(
-                    f"exceeded max_events={self._max_events}"
-                )
-            for hook, phases in self._trace_hooks:
-                if "fire" in phases:
-                    hook(self.clock.now, "fire", handle)
-            handle.fn(*handle.args)
-            for hook, phases in self._trace_hooks:
-                if "done" in phases:
-                    hook(self.clock.now, "done", handle)
+            self._fire(t, handle, fn, args)
             return True
         return False
 
@@ -215,24 +414,149 @@ class Simulator:
             raise SchedulingError("simulator is not reentrant")
         self._running = True
         self._stop_requested = False
+        # Hot loop: an inlined copy of :meth:`_fire` with the queue,
+        # clock and heappop bound to locals.  The queue list is only
+        # ever mutated in place (push/pop/compact), so the bindings
+        # stay valid across event callbacks.  ``_stop_requested`` and
+        # the hook lists are re-read every iteration because callbacks
+        # may call ``stop`` or add/remove hooks mid-run.
+        queue = self._queue
+        clock = self.clock
+        pop = _heappop
+        max_events = self._max_events
+        limit = float("inf") if max_events is None else max_events
+        # ``fired`` is batched in a local and flushed in ``finally`` (and
+        # before any hook runs): nothing inside the loop reads the
+        # attribute, and the flush keeps post-run readers exact even on
+        # stop()/exception exits.
+        fired = self._events_fired
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
-            while self._queue and not self._stop_requested:
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue)
+            if until is None:
+                # Drain variants: no deadline check, no head peek —
+                # pop straight off the heap.  Mid-run control changes
+                # (``stop``, ``cancel``, hook registration) *park* the
+                # queue in ``_stash``, so the loop conditions stay bare
+                # truthiness tests with no per-event flag reads; the
+                # dispatcher below then re-selects the right loop.
+                while True:
+                    if max_events is None and not (
+                        self._hooks_active or self._dead
+                    ):
+                        # fast loop: nothing queued is cancelled, no
+                        # hooks, no event limit — just pop and call.
+                        # Any of those appearing mid-run parks the
+                        # queue and bounces us back to the dispatcher.
+                        self._in_fast_loop = True
+                        try:
+                            while queue:
+                                t, _, handle, fn, args = pop(queue)
+                                # pops are nondecreasing in time, so
+                                # this never moves the clock backwards
+                                clock._now = t
+                                handle._state = False
+                                fn(*args)
+                        finally:
+                            self._in_fast_loop = False
+                            # fired count reconstructed from the O(1)
+                            # accounting identity instead of a per-event
+                            # increment: every event ever scheduled was
+                            # fired unless cancelled or still queued
+                            # (in the queue or parked in the stash,
+                            # where ``_dead`` entries don't count as
+                            # live).  Exact at any instant, including
+                            # mid-loop exceptions.
+                            stash = self._stash
+                            fired = (
+                                self._seq - self._cancelled - len(queue)
+                                - (len(stash) if stash is not None else 0)
+                                + self._dead
+                            )
+                    else:
+                        while queue:
+                            t, _, handle, fn, args = pop(queue)
+                            if handle._state is None:
+                                self._dead -= 1
+                                continue
+                            clock._now = t
+                            handle._state = False
+                            fired += 1
+                            if fired > limit:
+                                raise SimulationLimitExceeded(
+                                    f"exceeded max_events={max_events}"
+                                )
+                            if self._hooks_active:
+                                self._events_fired = fired
+                                for hook in self._fire_hooks:
+                                    hook(t, "fire", handle)
+                                fn(*args)
+                                now = clock._now
+                                for hook in self._done_hooks:
+                                    hook(now, "done", handle)
+                            else:
+                                fn(*args)
+                    if self._stash is None or self._stop_requested:
+                        return
+                    # parked for re-dispatch, not for stop: restore the
+                    # entries and go around (the dispatcher will now
+                    # pick the careful loop)
+                    self._unpark()
+            # deadline variant: peek before popping so an event beyond
+            # ``until`` stays queued for the next slice
+            while queue:
+                entry = queue[0]
+                handle = entry[2]
+                if handle._state is None:
+                    pop(queue)
+                    self._dead -= 1
                     continue
-                if until is not None and head.time > until:
+                t = entry[0]
+                if t > until:
                     break
-                self.step()
-            if until is not None and self.clock.now < until:
-                self.clock._advance_to(until)
+                pop(queue)
+                clock._now = t
+                handle._state = False
+                fired += 1
+                if fired > limit:
+                    raise SimulationLimitExceeded(
+                        f"exceeded max_events={max_events}"
+                    )
+                fn = entry[3]
+                args = entry[4]
+                if self._hooks_active:
+                    self._events_fired = fired
+                    for hook in self._fire_hooks:
+                        hook(t, "fire", handle)
+                    fn(*args)
+                    now = clock._now
+                    for hook in self._done_hooks:
+                        hook(now, "done", handle)
+                else:
+                    fn(*args)
+            if clock._now < until:
+                clock._advance_to(until)
         finally:
+            self._events_fired = fired
+            self._unpark()
+            if gc_was_enabled:
+                gc.enable()
             self._running = False
 
     def stop(self) -> None:
         """Request the current ``run`` call to return after the executing
-        event completes."""
+        event completes.
+
+        Implementation note: instead of a flag the hot loops would have
+        to re-read on every event, ``stop`` *parks* the pending entries
+        in ``_stash`` — the loop's ``while queue`` test then fails
+        naturally and ``run`` restores the queue before returning, so
+        no event is lost and ``pending_events`` (counter-derived) is
+        unaffected."""
         self._stop_requested = True
+        if self._running:
+            self._park()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -109,7 +109,7 @@ def test_peerview_protocol_survives_arbitrary_traffic(sequence):
 
         # invariants: sorted, self present, size consistent
         ordered = protocol.view.ordered_ids()
-        assert ordered == sorted(ordered)
+        assert list(ordered) == sorted(ordered)
         assert protocol.view.local_peer_id in protocol.view
         assert protocol.view.member_count() == protocol.view.size + 1
 

@@ -139,3 +139,65 @@ class TestSearch:
         cache.publish(adv("b"), now=0.0, lifetime=100.0)
         assert len(list(cache.entries(now=50.0))) == 1
         assert len(list(cache.entries())) == 2
+
+
+class TestIndexMaintenance:
+    """White-box checks of the query indexes added for paper-scale runs."""
+
+    def _rdv(self, n, name):
+        from repro.advertisement.rdvadv import RdvAdvertisement
+        from repro.ids.jxtaid import NET_PEER_GROUP_ID, PeerID
+
+        return RdvAdvertisement(
+            rdv_peer_id=PeerID.from_int(NET_PEER_GROUP_ID, n),
+            group_id=NET_PEER_GROUP_ID,
+            name=name,
+        )
+
+    def test_overwrite_reindexes_changed_fields(self):
+        # same unique key (peer, group), different indexed Name
+        cache = AdvertisementCache()
+        cache.publish(self._rdv(1, "alpha"), now=0.0)
+        cache.publish(self._rdv(1, "beta"), now=0.0)
+        assert len(cache) == 1
+        t = self._rdv(1, "beta").ADV_TYPE
+        assert [a.name for a in cache.search(t, "Name", "beta", now=1.0)] == ["beta"]
+        assert cache.search(t, "Name", "alpha", now=1.0) == []
+
+    def test_results_in_insertion_order_with_limit(self):
+        cache = AdvertisementCache()
+        for name in ("c", "a", "b"):
+            cache.publish(adv(name), now=0.0)
+        found = cache.search(None, None, None, now=1.0, limit=2)
+        assert [a.name for a in found] == ["c", "a"]
+        found = cache.search("repro:FakeAdvertisement", "Name", "*", now=1.0)
+        assert [a.name for a in found] == ["c", "a", "b"]
+
+    def test_remove_then_reinsert_moves_to_end(self):
+        cache = AdvertisementCache()
+        for name in ("a", "b", "c"):
+            cache.publish(adv(name), now=0.0)
+        cache.remove(adv("a"))
+        cache.publish(adv("a"), now=0.0)
+        found = cache.search(None, None, None, now=1.0)
+        assert [a.name for a in found] == ["b", "c", "a"]
+
+    def test_incremental_purge_skips_stale_heap_records(self):
+        cache = AdvertisementCache()
+        cache.publish(adv("x"), now=0.0, lifetime=10.0)
+        cache.publish(adv("x"), now=0.0, lifetime=1000.0)  # refresh
+        # the first record expires at t=10 but the entry was replaced;
+        # the stale record must not purge (or double-count) the live one
+        assert cache.purge_expired(now=20.0) == 0
+        assert cache.get(adv("x"), now=20.0) is not None
+        assert cache.purge_expired(now=2000.0) == 1
+        assert len(cache) == 0
+
+    def test_flush_clears_indexes(self):
+        cache = AdvertisementCache()
+        cache.publish(adv("a"), now=0.0)
+        assert cache.flush() == 1
+        assert cache.search(None, None, None, now=0.0) == []
+        assert cache.search("repro:FakeAdvertisement", "Name", "a", now=0.0) == []
+        cache.publish(adv("a"), now=0.0)
+        assert [a.name for a in cache.search(None, "Name", "a", now=0.0)] == ["a"]
