@@ -1,8 +1,10 @@
 # Convenience targets for the jxta-repro repository.
 
 PYTHON ?= python
+# worker pool width for campaign sweeps (make experiments JOBS=8)
+JOBS ?= $(shell $(PYTHON) -c "import os; print(os.cpu_count() or 1)")
 
-.PHONY: install test smoke-faults bench examples experiments experiments-full clean
+.PHONY: install test smoke-faults smoke-campaign bench examples experiments experiments-full clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -14,6 +16,11 @@ test:
 
 smoke-faults:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.faults_exp --smoke
+
+# campaign orchestrator acceptance checks: parallel determinism,
+# kill-mid-flight + --resume, >= 2x speedup at --jobs 4 (needs 4 CPUs)
+smoke-campaign:
+	$(PYTHON) scripts/campaign_smoke.py
 
 # Runs the kernel/protocol benchmarks and appends the numbers to the
 # committed trajectory (BENCH_kernel.json).  Override BENCH_LABEL to
@@ -34,14 +41,22 @@ examples:
 		PYTHONPATH=src $(PYTHON) $$f || exit 1; \
 	done
 
+# Both targets run through the repro.campaign orchestrator: one task
+# per experiment module, $(JOBS) workers, crash-safe JSONL store under
+# <out>/campaign/.  A killed run continues where it died:
+#   PYTHONPATH=src $(PYTHON) -m repro.experiments.cli sweep all --out results-ci --resume
+
 # reduced, shape-preserving runs of every paper artefact (minutes)
 experiments:
-	$(PYTHON) -m repro.experiments.cli all --out results-ci
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli sweep all \
+		--jobs $(JOBS) --out results-ci
 
-# paper-scale runs: 580 peers, two-hour timelines, full sweeps (~1 h)
+# paper-scale runs: 580 peers, two-hour timelines, full sweeps
+# (~1 h serial; scales down with $(JOBS))
 experiments-full:
-	$(PYTHON) -m repro.experiments.cli all --full --out results
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli sweep all --full \
+		--jobs $(JOBS) --out results
 
 clean:
-	rm -rf .pytest_cache .benchmarks results-ci
+	rm -rf .pytest_cache .benchmarks results-ci campaign-runs
 	find . -name __pycache__ -type d -exec rm -rf {} +

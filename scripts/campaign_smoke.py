@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""CI acceptance harness for the campaign orchestrator.
+
+Runs the CI-sized ``fig3-smoke`` campaign three ways and asserts the
+subsystem's headline guarantees end to end, from the real CLI:
+
+1. **Serial baseline** — ``--jobs 1``.
+2. **Parallel determinism** — ``--jobs 4`` must produce byte-identical
+   per-task results and aggregate files; with >= 4 CPUs the manifest
+   wall-clock must show >= 2x speedup over the serial run.
+3. **Kill / resume** — a 2-worker run is SIGKILLed mid-flight (the
+   whole process group, so workers die too); ``--resume`` must finish
+   the campaign without re-running any completed task and again match
+   the serial aggregates byte for byte.
+
+Exit code 0 on success; any violated guarantee raises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CAMPAIGN = "fig3-smoke"
+SEEDS = "4"
+AGGREGATE_FILES = (
+    f"{CAMPAIGN}-aggregate.csv",
+    f"{CAMPAIGN}-series_values.csv",
+    f"{CAMPAIGN}-aggregate.json",
+)
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{REPO / 'src'}" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def sweep_argv(out: Path, jobs: int, resume: bool = False) -> list:
+    argv = [
+        sys.executable, "-m", "repro.experiments.cli", "sweep", CAMPAIGN,
+        "--seeds", SEEDS, "--jobs", str(jobs), "--out", str(out), "--quiet",
+    ]
+    if resume:
+        argv.append("--resume")
+    return argv
+
+
+def run_sweep(out: Path, jobs: int, resume: bool = False) -> dict:
+    subprocess.run(sweep_argv(out, jobs, resume), env=_env(), check=True, cwd=REPO)
+    return json.loads((out / "campaign" / "manifest.json").read_text())
+
+
+def ok_results(out: Path) -> dict:
+    """key -> result payload for completed tasks (the determinism unit:
+    telemetry fields legitimately differ between runs)."""
+    results = {}
+    path = out / "campaign" / "tasks.jsonl"
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn trailing line from the SIGKILL
+        if record["status"] == "ok":
+            results[record["key"]] = record["result"]
+    return results
+
+
+def assert_same_aggregates(a: Path, b: Path, what: str) -> None:
+    for name in AGGREGATE_FILES:
+        left, right = (a / name).read_bytes(), (b / name).read_bytes()
+        assert left == right, f"{what}: {name} differs between {a} and {b}"
+    print(f"ok: {what}: aggregates byte-identical")
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="campaign-smoke-"))
+    serial, parallel, killed = tmp / "serial", tmp / "parallel", tmp / "killed"
+
+    # 1. serial baseline ---------------------------------------------------
+    manifest_serial = run_sweep(serial, jobs=1)
+    assert manifest_serial["failed"] == [], manifest_serial["failed"]
+    total = manifest_serial["total_tasks"]
+    print(f"ok: serial run: {total} tasks in "
+          f"{manifest_serial['wall_seconds']:.2f}s")
+
+    # 2. parallel determinism + speedup ------------------------------------
+    manifest_parallel = run_sweep(parallel, jobs=4)
+    assert manifest_parallel["failed"] == []
+    assert ok_results(parallel) == ok_results(serial), \
+        "per-task results differ between --jobs 4 and --jobs 1"
+    print("ok: --jobs 4 per-task results identical to --jobs 1")
+    assert_same_aggregates(parallel, serial, "--jobs 4 vs --jobs 1")
+    speedup = (
+        manifest_serial["wall_seconds"] / manifest_parallel["wall_seconds"]
+    )
+    print(f"speedup: --jobs 4 vs --jobs 1 = {speedup:.2f}x "
+          f"(manifest est {manifest_parallel['parallel_speedup_est']:.2f}x, "
+          f"{os.cpu_count()} CPUs)")
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, f"expected >= 2x speedup, got {speedup:.2f}x"
+        print("ok: >= 2x speedup at --jobs 4")
+    else:
+        print("skip: speedup floor needs >= 4 CPUs")
+
+    # 3. kill mid-flight, then resume --------------------------------------
+    proc = subprocess.Popen(
+        sweep_argv(killed, jobs=2),
+        env=_env(), cwd=REPO, start_new_session=True,
+    )
+    tasks_path = killed / "campaign" / "tasks.jsonl"
+    deadline = time.time() + 120
+    while time.time() < deadline:
+        done = len(ok_results(killed)) if tasks_path.exists() else 0
+        if done >= 2:
+            break
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"sweep finished (rc={proc.returncode}) before we could "
+                "kill it — enlarge the campaign"
+            )
+        time.sleep(0.02)
+    else:
+        raise AssertionError("timed out waiting for tasks to complete")
+    os.killpg(proc.pid, signal.SIGKILL)
+    proc.wait()
+    survivors = ok_results(killed)
+    assert 0 < len(survivors) < total, (
+        f"want a partial store after the kill, have {len(survivors)}/{total}"
+    )
+    print(f"ok: SIGKILL mid-flight left a partial store "
+          f"({len(survivors)}/{total} tasks)")
+
+    before = tasks_path.read_text()
+    manifest_resumed = run_sweep(killed, jobs=2, resume=True)
+    assert manifest_resumed["failed"] == []
+    assert manifest_resumed["skipped_resumed"] == len(survivors), (
+        "resume did not skip exactly the completed tasks"
+    )
+    appended = tasks_path.read_text()[len(before):]
+    appended_keys = []
+    for line in appended.splitlines():
+        if not line.strip():
+            continue
+        try:
+            appended_keys.append(json.loads(line)["key"])
+        except json.JSONDecodeError:
+            continue
+    rerun = [key for key in appended_keys if key in survivors]
+    assert not rerun, f"resume re-ran finished tasks: {rerun}"
+    print(f"ok: resume ran only the {manifest_resumed['completed_this_run']} "
+          "missing task(s), none twice")
+    assert ok_results(killed) == ok_results(serial)
+    assert_same_aggregates(killed, serial, "killed+resumed vs serial")
+
+    print("campaign smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,152 @@
+"""Named built-in campaigns behind ``jxta-repro sweep``.
+
+Each builder returns a :class:`CampaignSpec` reproducing one of the
+paper's sweeps as a grid of independent tasks:
+
+* ``fig3`` — the Figure 3 r × topology grid (chains 10…580, trees
+  160…338 with ``--full``; the CI-sized grid otherwise);
+* ``fig3-smoke`` — a uniform small grid used by the CI campaign-smoke
+  job (kill/resume + jobs-speedup checks);
+* ``ablation`` — the PVE_EXPIRATION × PEERVIEW_INTERVAL grid (§4.1);
+* ``churn`` — the discovery-under-volatility session-length matrix;
+* ``all`` — every experiment module as one task each (what
+  ``make experiments[-full]`` runs).
+
+Every builder takes ``seeds``: the grid gains a seed axis
+``base_seed … base_seed+seeds-1`` and the aggregator reports the
+cross-seed spread per configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.campaign.spec import CampaignSpec
+from repro.sim import MINUTES, SECONDS
+
+
+def _seed_axis(seeds: int, base_seed: int):
+    if seeds < 1:
+        raise ValueError("seeds must be >= 1")
+    return list(range(base_seed, base_seed + seeds))
+
+
+def fig3_campaign(
+    full: bool = False, seeds: int = 1, base_seed: int = 1,
+    out: Optional[str] = None,
+) -> CampaignSpec:
+    from repro.experiments.fig3_left import CI_CONFIGS, PAPER_CONFIGS
+
+    configs = PAPER_CONFIGS if full else CI_CONFIGS
+    duration = (120 if full else 60) * MINUTES
+    return CampaignSpec(
+        name="fig3",
+        task_type="peerview",
+        grid={
+            "config": [{"r": r, "topology": t} for r, t in configs],
+            "seed": _seed_axis(seeds, base_seed),
+        },
+        base={"duration": duration},
+        description="Figure 3: peerview size l(t) across the r/topology grid",
+    )
+
+
+def fig3_smoke_campaign(
+    full: bool = False, seeds: int = 4, base_seed: int = 1,
+    out: Optional[str] = None,
+) -> CampaignSpec:
+    return CampaignSpec(
+        name="fig3-smoke",
+        task_type="peerview",
+        grid={
+            "config": [
+                {"r": 24, "topology": "chain"},
+                {"r": 30, "topology": "chain"},
+            ],
+            "seed": _seed_axis(seeds, base_seed),
+        },
+        base={"duration": 60 * MINUTES},
+        description="CI-sized fig3 grid: uniform ~1s tasks for the "
+        "kill/resume and jobs-speedup smoke checks",
+    )
+
+
+def ablation_campaign(
+    full: bool = False, seeds: int = 1, base_seed: int = 1,
+    out: Optional[str] = None,
+) -> CampaignSpec:
+    return CampaignSpec(
+        name="ablation",
+        task_type="peerview",
+        grid={
+            "pve_expiration": [10 * MINUTES, 20 * MINUTES, 90 * MINUTES],
+            "peerview_interval": [15 * SECONDS, 30 * SECONDS, 60 * SECONDS],
+            "seed": _seed_axis(seeds, base_seed),
+        },
+        base={"r": 80 if full else 30, "duration": 60 * MINUTES},
+        description="PVE_EXPIRATION x PEERVIEW_INTERVAL freshness/bandwidth "
+        "trade-off (§4.1)",
+    )
+
+
+def churn_campaign(
+    full: bool = False, seeds: int = 1, base_seed: int = 1,
+    out: Optional[str] = None,
+) -> CampaignSpec:
+    return CampaignSpec(
+        name="churn",
+        task_type="churn",
+        grid={
+            "mean_session": [60 * MINUTES, 20 * MINUTES, 5 * MINUTES],
+            "seed": _seed_axis(seeds, base_seed),
+        },
+        base={"r": 32 if full else 16, "queries": 60},
+        description="discovery success/latency under rendezvous volatility",
+    )
+
+
+def all_experiments_campaign(
+    full: bool = False, seeds: int = 1, base_seed: int = 1,
+    out: Optional[str] = None,
+) -> CampaignSpec:
+    from repro.experiments.cli import EXPERIMENTS
+
+    base: Dict[str, Any] = {"full": full}
+    if out is not None:
+        base["out"] = out
+    return CampaignSpec(
+        name="all",
+        task_type="experiment",
+        grid={
+            "name": sorted(EXPERIMENTS),
+            "seed": _seed_axis(seeds, base_seed),
+        },
+        base=base,
+        description="every paper artefact, one experiment module per task "
+        "(the make experiments[-full] unit)",
+    )
+
+
+CAMPAIGNS: Dict[str, Callable[..., CampaignSpec]] = {
+    "fig3": fig3_campaign,
+    "fig3-smoke": fig3_smoke_campaign,
+    "ablation": ablation_campaign,
+    "churn": churn_campaign,
+    "all": all_experiments_campaign,
+}
+
+
+def build_campaign(
+    name: str,
+    full: bool = False,
+    seeds: int = 1,
+    base_seed: int = 1,
+    out: Optional[str] = None,
+) -> CampaignSpec:
+    try:
+        builder = CAMPAIGNS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown campaign {name!r} (known: {sorted(CAMPAIGNS)})"
+        ) from None
+    return builder(full=full, seeds=seeds, base_seed=base_seed, out=out)

@@ -1,0 +1,93 @@
+"""Live campaign progress: done/total, ETA, worker utilization.
+
+One line per finished task (CI-log friendly — no terminal control
+sequences), e.g.::
+
+    [  5/16] peerview(r=30, seed=2) ok 0.61s | eta 0:00:07 | util 93%
+
+Utilization is cumulative busy-seconds over ``elapsed × jobs`` — the
+number the §4 acceptance check reads to confirm the pool actually ran
+in parallel.  The ETA extrapolates the mean task wall time over the
+remaining count divided by the pool width.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, Optional, TextIO
+
+
+def _fmt_eta(seconds: float) -> str:
+    seconds = max(0, int(round(seconds)))
+    hours, rest = divmod(seconds, 3600)
+    minutes, secs = divmod(rest, 60)
+    return f"{hours}:{minutes:02d}:{secs:02d}"
+
+
+class ProgressReporter:
+    """Accumulates task telemetry and prints one status line per event."""
+
+    def __init__(
+        self,
+        total: int,
+        jobs: int,
+        stream: Optional[TextIO] = None,
+        enabled: bool = True,
+        clock=time.monotonic,
+    ):
+        self.total = total
+        self.jobs = max(1, jobs)
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self._clock = clock
+        self.started_at = clock()
+        self.done = 0
+        self.busy_seconds = 0.0
+
+    # --- derived numbers --------------------------------------------------
+
+    def elapsed(self) -> float:
+        return max(self._clock() - self.started_at, 1e-9)
+
+    def utilization(self) -> float:
+        return min(self.busy_seconds / (self.elapsed() * self.jobs), 1.0)
+
+    def eta_seconds(self) -> float:
+        if self.done == 0:
+            return 0.0
+        mean = self.busy_seconds / self.done
+        return (self.total - self.done) * mean / self.jobs
+
+    # --- events -----------------------------------------------------------
+
+    def note(self, message: str) -> None:
+        if self.enabled:
+            print(f"# {message}", file=self.stream, flush=True)
+
+    def skipped(self, count: int) -> None:
+        if count:
+            self.note(f"resume: skipping {count} completed task(s)")
+
+    def task_done(self, label: str, status: str, wall_s: float) -> None:
+        self.done += 1
+        self.busy_seconds += wall_s
+        if not self.enabled:
+            return
+        width = len(str(self.total))
+        print(
+            f"[{self.done:>{width}}/{self.total}] {label} {status} "
+            f"{wall_s:.2f}s | eta {_fmt_eta(self.eta_seconds())} "
+            f"| util {self.utilization() * 100:.0f}%",
+            file=self.stream,
+            flush=True,
+        )
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "done": self.done,
+            "total": self.total,
+            "busy_seconds": self.busy_seconds,
+            "elapsed_seconds": self.elapsed(),
+            "utilization": self.utilization(),
+        }

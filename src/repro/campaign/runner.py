@@ -1,0 +1,406 @@
+"""Multiprocessing campaign runner.
+
+Architecture: the parent owns the task list and dispatches to a pool of
+``--jobs`` worker processes over *per-worker* queues (an inbox and an
+outbox each).  Per-worker outboxes mean a worker killed mid-write can
+only corrupt its own channel, which dies with it — the pool and the
+other in-flight results are unaffected.
+
+Reliability behaviors:
+
+* **Deterministic results** — tasks are pure functions of their params
+  (each seeds its own simulator), so scheduling order cannot change any
+  result; the run store is keyed by content hash, and aggregation sorts
+  by key, making ``--jobs 1`` and ``--jobs N`` byte-identical.
+* **Per-task timeout** — a worker running past ``task_timeout`` is
+  terminated and replaced; the task is retried like a crash.
+* **Retry with backoff** — a crashed worker (or a task raising) is
+  retried up to ``max_retries`` times with exponential backoff before
+  the task is recorded as failed.
+* **Graceful SIGINT draining** — first Ctrl-C stops dispatching and
+  lets in-flight tasks finish (their results are persisted; a later
+  ``--resume`` picks up from there); a second Ctrl-C aborts hard.
+* **Crash safety** — every finished task is fsynced into the JSONL
+  store before it counts as done; ``resume=True`` skips completed keys.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import queue as queue_mod
+import signal
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.spec import CampaignSpec, TaskSpec
+from repro.campaign.store import RunStore
+from repro.campaign.tasks import run_task
+
+
+def _default_context() -> str:
+    import multiprocessing as mp
+
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+@dataclass
+class RunnerOptions:
+    jobs: int = 1
+    #: kill + retry a task running longer than this (seconds; None = off)
+    task_timeout: Optional[float] = None
+    #: attempts beyond the first before a task is recorded as failed
+    max_retries: int = 2
+    #: first retry delay; doubles per subsequent attempt
+    retry_backoff: float = 0.5
+    mp_context: str = field(default_factory=_default_context)
+    poll_interval: float = 0.05
+
+
+def _execute(task_type: str, params: Dict[str, Any]) -> Tuple[str, Any, Dict[str, Any]]:
+    """Run one task with telemetry; exceptions become an error payload."""
+    import resource
+
+    t0 = time.perf_counter()
+    try:
+        result = run_task(task_type, params)
+        status, payload = "ok", result
+    except Exception:
+        status, payload = "error", traceback.format_exc(limit=20)
+    telemetry = {
+        "wall_s": time.perf_counter() - t0,
+        "max_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+    return status, payload, telemetry
+
+
+def _worker_main(worker_id: int, inbox, outbox) -> None:
+    # the parent owns interrupt handling: workers ignore SIGINT so a
+    # Ctrl-C drains instead of killing in-flight tasks mid-simulation
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    while True:
+        message = inbox.get()
+        if message[0] == "stop":
+            return
+        _, key, task_type, params = message
+        status, payload, telemetry = _execute(task_type, params)
+        outbox.put((worker_id, key, status, payload, telemetry))
+
+
+class _Worker:
+    """A pool slot: process + its private inbox/outbox."""
+
+    def __init__(self, ctx, worker_id: int):
+        self.id = worker_id
+        self.inbox = ctx.Queue()
+        self.outbox = ctx.Queue()
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(worker_id, self.inbox, self.outbox),
+            daemon=True,
+        )
+        self.process.start()
+        self.task: Optional[TaskSpec] = None
+        self.attempt = 0
+        self.started_at = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.task is not None
+
+    def dispatch(self, task: TaskSpec, attempt: int) -> None:
+        self.task = task
+        self.attempt = attempt
+        self.started_at = time.monotonic()
+        self.inbox.put(("task", task.key, task.task_type, task.params))
+
+    def poll(self):
+        try:
+            return self.outbox.get_nowait()
+        except queue_mod.Empty:
+            return None
+
+    def stop(self, timeout: float = 2.0) -> None:
+        if self.process.is_alive():
+            try:
+                self.inbox.put(("stop",))
+            except ValueError:
+                pass
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(1.0)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(1.0)
+        self.inbox.close()
+        self.outbox.close()
+
+    def kill(self) -> None:
+        """Hard-stop a hung or doomed worker; its queues are discarded."""
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(1.0)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(1.0)
+        self.inbox.close()
+        self.outbox.close()
+
+
+class CampaignRunner:
+    """Execute a :class:`CampaignSpec` against a :class:`RunStore`."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: RunStore,
+        options: Optional[RunnerOptions] = None,
+        progress: Optional[ProgressReporter] = None,
+    ):
+        self.spec = spec
+        self.store = store
+        self.options = options or RunnerOptions()
+        self.progress = progress
+        self._drain = False
+        self._abort = False
+        self._completed = 0
+        self._failed: List[str] = []
+
+    # --- public API -------------------------------------------------------
+
+    def request_drain(self) -> None:
+        """Stop dispatching; finish in-flight tasks, then return.
+        (What the SIGINT handler calls; tests call it directly.)"""
+        self._drain = True
+
+    def run(self, resume: bool = False) -> Dict[str, Any]:
+        """Run the campaign; returns (and persists) the run manifest."""
+        tasks = self.spec.expand()
+        previous = self.store.read_manifest()
+        if resume and previous and previous.get("spec_hash") != self.spec.spec_hash():
+            raise ValueError(
+                f"refusing to resume: store at {self.store.root} was written "
+                f"by campaign spec {previous.get('spec_hash')}, this spec is "
+                f"{self.spec.spec_hash()}"
+            )
+        if not resume:
+            backup = self.store.rotate()
+            if backup and self.progress:
+                self.progress.note(f"existing run moved to {backup.name}")
+        done_before = self.store.completed() if resume else {}
+        pending = [t for t in tasks if t.key not in done_before]
+        if self.progress:
+            self.progress.total = len(tasks)
+            self.progress.done = len(done_before)
+            self.progress.skipped(len(done_before))
+
+        started = time.monotonic()
+        previous_handler = signal.getsignal(signal.SIGINT)
+
+        def on_sigint(signum, frame):
+            if self._drain:
+                self._abort = True
+                raise KeyboardInterrupt
+            self._drain = True
+            if self.progress:
+                self.progress.note(
+                    "SIGINT: draining in-flight tasks "
+                    "(interrupt again to abort hard)"
+                )
+
+        can_trap = True
+        try:
+            signal.signal(signal.SIGINT, on_sigint)
+        except ValueError:  # non-main thread (tests)
+            can_trap = False
+        try:
+            if self.options.jobs <= 1:
+                self._run_inline(pending)
+            else:
+                self._run_pool(pending)
+        finally:
+            if can_trap:
+                signal.signal(signal.SIGINT, previous_handler)
+
+        wall = time.monotonic() - started
+        task_seconds = self.progress.busy_seconds if self.progress else 0.0
+        manifest = {
+            "campaign": self.spec.name,
+            "task_type": self.spec.task_type,
+            "spec_hash": self.spec.spec_hash(),
+            "jobs": self.options.jobs,
+            "resume": resume,
+            "interrupted": self._drain,
+            "total_tasks": len(tasks),
+            "skipped_resumed": len(done_before),
+            "completed_this_run": self._completed,
+            "failed": sorted(self._failed),
+            "wall_seconds": wall,
+            "task_seconds": task_seconds,
+            "parallel_speedup_est": (task_seconds / wall) if wall > 0 else 0.0,
+            "utilization": (self.progress.utilization() if self.progress else None),
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        }
+        self.store.write_manifest(manifest)
+        return manifest
+
+    # --- record keeping ---------------------------------------------------
+
+    def _record(
+        self,
+        task: TaskSpec,
+        status: str,
+        payload: Any,
+        telemetry: Dict[str, Any],
+        attempt: int,
+        worker: int,
+    ) -> None:
+        record = {
+            "key": task.key,
+            "task": task.task_type,
+            "params": task.params,
+            "status": status,
+            "result": payload if status == "ok" else None,
+            "error": None if status == "ok" else str(payload),
+            "attempts": attempt + 1,
+            "wall_s": telemetry.get("wall_s", 0.0),
+            "max_rss_kb": telemetry.get("max_rss_kb", 0),
+            "worker": worker,
+        }
+        self.store.append(record)
+        if status == "ok":
+            self._completed += 1
+        else:
+            self._failed.append(task.key)
+        if self.progress:
+            self.progress.task_done(
+                task.label(), status, telemetry.get("wall_s", 0.0)
+            )
+
+    def _retry_or_fail(
+        self,
+        task: TaskSpec,
+        attempt: int,
+        status: str,
+        detail: str,
+        worker_id: int,
+        delayed: List[Tuple[float, int, TaskSpec]],
+    ) -> None:
+        if attempt < self.options.max_retries:
+            delay = self.options.retry_backoff * (2 ** attempt)
+            delayed.append((time.monotonic() + delay, attempt + 1, task))
+            if self.progress:
+                self.progress.note(
+                    f"{task.label()}: {status} "
+                    f"(attempt {attempt + 1}, retrying in {delay:.1f}s)"
+                )
+        else:
+            self._record(task, status, detail, {}, attempt, worker_id)
+
+    # --- serial path ------------------------------------------------------
+
+    def _run_inline(self, pending: List[TaskSpec]) -> None:
+        """``--jobs 1``: same execution function, no worker processes.
+        Crash-level faults obviously can't be survived inline; task
+        exceptions still retry with backoff."""
+        delayed: List[Tuple[float, int, TaskSpec]] = []
+        ready: List[Tuple[int, TaskSpec]] = [(0, t) for t in pending]
+        while (ready or delayed) and not self._drain:
+            if not ready:
+                wake, attempt, task = min(delayed, key=lambda x: x[0])
+                delayed.remove((wake, attempt, task))
+                time.sleep(max(0.0, wake - time.monotonic()))
+                ready.append((attempt, task))
+            attempt, task = ready.pop(0)
+            status, payload, telemetry = _execute(task.task_type, task.params)
+            if status == "ok":
+                self._record(task, status, payload, telemetry, attempt, 0)
+            else:
+                self._retry_or_fail(task, attempt, status, payload, 0, delayed)
+
+    # --- pool path --------------------------------------------------------
+
+    def _run_pool(self, pending: List[TaskSpec]) -> None:
+        import multiprocessing as mp
+
+        ctx = mp.get_context(self.options.mp_context)
+        jobs = min(self.options.jobs, max(len(pending), 1))
+        workers = [_Worker(ctx, i) for i in range(jobs)]
+        ready: List[Tuple[int, TaskSpec]] = [(0, t) for t in pending]
+        delayed: List[Tuple[float, int, TaskSpec]] = []
+        try:
+            while True:
+                now = time.monotonic()
+                for entry in list(delayed):
+                    if entry[0] <= now:
+                        delayed.remove(entry)
+                        ready.append((entry[1], entry[2]))
+                if not self._drain:
+                    for worker in workers:
+                        if ready and not worker.busy:
+                            attempt, task = ready.pop(0)
+                            worker.dispatch(task, attempt)
+                idle = not any(w.busy for w in workers)
+                if idle and (self._drain or (not ready and not delayed)):
+                    break
+                progressed = False
+                for i, worker in enumerate(workers):
+                    message = worker.poll()
+                    if message is not None and worker.busy:
+                        _, key, status, payload, telemetry = message
+                        task, attempt = worker.task, worker.attempt
+                        worker.task = None
+                        progressed = True
+                        if status == "ok":
+                            self._record(
+                                task, status, payload, telemetry, attempt, worker.id
+                            )
+                        else:
+                            self._retry_or_fail(
+                                task, attempt, status, payload, worker.id, delayed
+                            )
+                        continue
+                    if worker.busy and not worker.process.is_alive():
+                        # crashed mid-task (poll() above already drained
+                        # any result it managed to deliver)
+                        task, attempt = worker.task, worker.attempt
+                        exitcode = worker.process.exitcode
+                        worker.kill()
+                        workers[i] = _Worker(ctx, worker.id)
+                        progressed = True
+                        self._retry_or_fail(
+                            task,
+                            attempt,
+                            "crashed",
+                            f"worker exited with code {exitcode}",
+                            worker.id,
+                            delayed,
+                        )
+                        continue
+                    if (
+                        worker.busy
+                        and self.options.task_timeout is not None
+                        and now - worker.started_at > self.options.task_timeout
+                    ):
+                        task, attempt = worker.task, worker.attempt
+                        worker.kill()
+                        workers[i] = _Worker(ctx, worker.id)
+                        progressed = True
+                        self._retry_or_fail(
+                            task,
+                            attempt,
+                            "timeout",
+                            f"exceeded task_timeout={self.options.task_timeout}s",
+                            worker.id,
+                            delayed,
+                        )
+                if not progressed:
+                    time.sleep(self.options.poll_interval)
+        finally:
+            for worker in workers:
+                worker.stop()

@@ -1,0 +1,123 @@
+"""Declarative campaign specifications.
+
+A :class:`CampaignSpec` names a task type (see
+:mod:`repro.campaign.tasks`) and a parameter grid; :meth:`expand`
+produces the cartesian product as a flat, deterministically ordered
+list of :class:`TaskSpec`.  Every task carries a *content-hashed key*
+derived from its task type and full parameter set, so a killed
+campaign can be resumed by skipping keys already present in the run
+store — regardless of worker scheduling order, ``--jobs`` value, or
+how the grid was declared.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence
+
+
+def canonical_json(obj: Any) -> str:
+    """Stable serialization: sorted keys, no whitespace.  Content hashes
+    and byte-identical-output guarantees all build on this."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def task_key(task_type: str, params: Mapping[str, Any]) -> str:
+    """Content hash identifying one task: same (type, params) — however
+    declared — always maps to the same key."""
+    digest = hashlib.sha256(
+        canonical_json({"task": task_type, "params": dict(params)}).encode()
+    )
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One unit of work: a task type plus its fully resolved parameters."""
+
+    task_type: str
+    params: Dict[str, Any]
+    key: str
+
+    @property
+    def seed(self) -> Any:
+        return self.params.get("seed")
+
+    def label(self) -> str:
+        """Compact human-readable tag for progress lines."""
+        parts = []
+        for name in sorted(self.params):
+            value = self.params[name]
+            if isinstance(value, (str, int)):
+                parts.append(f"{name}={value}")
+        return f"{self.task_type}({', '.join(parts)})"
+
+
+def derive_seed(master_seed: int, key: str) -> int:
+    """Deterministic per-task seed from a campaign master seed and the
+    task's content key (used when a grid has no explicit seed axis)."""
+    digest = hashlib.sha256(f"{master_seed}:{key}".encode()).digest()
+    return int.from_bytes(digest[:4], "big") or 1
+
+
+@dataclass
+class CampaignSpec:
+    """A named parameter grid over one task type.
+
+    ``grid`` maps axis names to value sequences; the expansion is the
+    cartesian product.  An axis value that is a ``dict`` is *merged*
+    into the task parameters (for co-varying parameters such as the
+    fig3 ``(r, topology)`` pairs); any other value is assigned under
+    the axis name.  ``base`` holds constant parameters shared by every
+    task.
+    """
+
+    name: str
+    task_type: str
+    grid: Dict[str, Sequence[Any]]
+    base: Dict[str, Any] = field(default_factory=dict)
+    description: str = ""
+
+    def expand(self) -> List[TaskSpec]:
+        """Cartesian product in sorted-axis order — the task list (and
+        its order) is a pure function of the spec."""
+        axes = sorted(self.grid)
+        for axis in axes:
+            if not self.grid[axis]:
+                raise ValueError(f"grid axis {axis!r} has no values")
+        tasks: List[TaskSpec] = []
+        seen: Dict[str, str] = {}
+        for combo in itertools.product(*(self.grid[axis] for axis in axes)):
+            params = dict(self.base)
+            for axis, value in zip(axes, combo):
+                if isinstance(value, dict):
+                    params.update(value)
+                else:
+                    params[axis] = value
+            key = task_key(self.task_type, params)
+            if key in seen:
+                raise ValueError(
+                    f"duplicate task in campaign {self.name!r}: "
+                    f"{canonical_json(params)}"
+                )
+            seen[key] = self.task_type
+            tasks.append(TaskSpec(self.task_type, params, key))
+        return tasks
+
+    def spec_hash(self) -> str:
+        """Content hash of the whole campaign (recorded in the run
+        manifest; a resume against a different spec is refused)."""
+        digest = hashlib.sha256(
+            canonical_json(
+                {
+                    "name": self.name,
+                    "task": self.task_type,
+                    "grid": {k: list(v) for k, v in self.grid.items()},
+                    "base": self.base,
+                }
+            ).encode()
+        )
+        return digest.hexdigest()[:16]

@@ -1,0 +1,118 @@
+"""Crash-safe JSONL run store.
+
+Each finished task is appended to ``tasks.jsonl`` as one canonical
+JSON line, flushed and fsynced before the runner considers it done —
+a SIGKILL at any instant loses at most the in-flight tasks.  The
+loader tolerates a torn trailing line (the one partial write a crash
+can produce) and resolves duplicate keys last-wins, so a resumed
+campaign continues exactly where the previous one died.
+
+The run manifest (``manifest.json``) is written atomically via a
+temp-file rename and records the campaign identity (spec hash), the
+``--jobs`` value, wall-clock/CPU telemetry and the parallel speedup
+estimate used by the CI acceptance check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.campaign.spec import canonical_json
+
+PathLike = Union[str, Path]
+
+
+class RunStore:
+    """One campaign run directory: ``tasks.jsonl`` + ``manifest.json``."""
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.tasks_path = self.root / "tasks.jsonl"
+        self.manifest_path = self.root / "manifest.json"
+        self._heal_torn_tail()
+
+    def _heal_torn_tail(self) -> None:
+        """Terminate a torn trailing line (crash mid-append) so the next
+        append starts on a fresh line instead of gluing onto the
+        fragment and corrupting it further."""
+        if not self.tasks_path.exists():
+            return
+        with open(self.tasks_path, "rb+") as fh:
+            fh.seek(0, os.SEEK_END)
+            size = fh.tell()
+            if size == 0:
+                return
+            fh.seek(size - 1)
+            if fh.read(1) != b"\n":
+                fh.write(b"\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    # --- task records -----------------------------------------------------
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one finished-task record durably (atomic with respect
+        to readers: a single ``write`` of one line, then fsync)."""
+        line = canonical_json(record) + "\n"
+        with open(self.tasks_path, "a") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def records(self) -> List[Dict[str, Any]]:
+        """All well-formed records, in append order.  Unparseable lines
+        are skipped: they are torn appends from crashes (one per killed
+        run — healed into their own lines by :meth:`_heal_torn_tail`),
+        never valid records, which are each written in full before the
+        runner counts the task as done."""
+        if not self.tasks_path.exists():
+            return []
+        out: List[Dict[str, Any]] = []
+        for line in self.tasks_path.read_text().split("\n"):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "key" in record:
+                out.append(record)
+        return out
+
+    def completed(self) -> Dict[str, Dict[str, Any]]:
+        """key -> record for every task that finished with status
+        ``ok`` (last record wins: a retry after a failed attempt
+        supersedes the failure)."""
+        latest: Dict[str, Dict[str, Any]] = {}
+        for record in self.records():
+            latest[record["key"]] = record
+        return {
+            key: rec for key, rec in latest.items() if rec.get("status") == "ok"
+        }
+
+    def rotate(self) -> Optional[Path]:
+        """Move an existing ``tasks.jsonl`` aside (fresh, non-resumed
+        run into a dir that already has one).  Returns the backup path."""
+        if not self.tasks_path.exists():
+            return None
+        n = 1
+        while (backup := self.root / f"tasks.jsonl.{n}.bak").exists():
+            n += 1
+        self.tasks_path.rename(backup)
+        return backup
+
+    # --- manifest ---------------------------------------------------------
+
+    def write_manifest(self, manifest: Dict[str, Any]) -> None:
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, self.manifest_path)
+
+    def read_manifest(self) -> Optional[Dict[str, Any]]:
+        if not self.manifest_path.exists():
+            return None
+        return json.loads(self.manifest_path.read_text())

@@ -1,0 +1,162 @@
+"""Pure task entry points executed by campaign workers.
+
+A *task* is a top-level function ``params_dict -> json_dict``: fully
+deterministic given its parameters (every task seeds its own
+:class:`~repro.sim.Simulator`), picklable by name across worker
+processes, and returning only JSON-serializable data so the run store
+can persist it verbatim.  The byte-identical ``--jobs 1`` vs
+``--jobs N`` guarantee rests on these properties.
+
+Built-in task types:
+
+``peerview``
+    One §4.1 overlay run (fig3 / ablation grids): l(t) sampled on a
+    regular grid plus the summary statistics the paper discusses.
+``churn``
+    One discovery-under-volatility point (the churn matrix).
+``experiment``
+    One whole experiment module from :data:`repro.experiments.cli
+    .EXPERIMENTS` — the unit behind ``jxta-repro sweep all`` and the
+    ``make experiments[-full]`` targets.  Rendered stdout and CSV/JSON
+    artefacts are written under ``params["out"]``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+from pathlib import Path
+from typing import Any, Callable, Dict
+
+from repro.sim import MINUTES
+
+TaskFn = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+_REGISTRY: Dict[str, TaskFn] = {}
+
+
+def register_task(name: str, fn: TaskFn | None = None):
+    """Register a task type (usable as a decorator).  Tests register
+    throwaway task types the same way the built-ins do."""
+    if fn is not None:
+        _REGISTRY[name] = fn
+        return fn
+
+    def decorator(func: TaskFn) -> TaskFn:
+        _REGISTRY[name] = func
+        return func
+
+    return decorator
+
+
+def get_task(name: str) -> TaskFn:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown task type {name!r} (known: {sorted(_REGISTRY)})"
+        ) from None
+
+
+def run_task(name: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    return get_task(name)(params)
+
+
+# --------------------------------------------------------------------------
+# built-in task types
+# --------------------------------------------------------------------------
+
+
+@register_task("peerview")
+def peerview_point(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One peerview overlay run; covers the fig3 grid (r × topology)
+    and the ablation grid (PVE_EXPIRATION × PEERVIEW_INTERVAL)."""
+    from repro.config import PlatformConfig
+    from repro.experiments.common import run_peerview_overlay
+    from repro.metrics.series import peerview_size_series, sample_at
+
+    r = int(params["r"])
+    topology = params.get("topology", "chain")
+    duration = float(params.get("duration", 60 * MINUTES))
+    seed = int(params.get("seed", 1))
+    sample_step = float(params.get("sample_step", 2 * MINUTES))
+
+    overrides = {
+        name: params[name]
+        for name in ("pve_expiration", "peerview_interval", "happy_size")
+        if name in params
+    }
+    config = PlatformConfig().with_overrides(**overrides) if overrides else None
+
+    result = run_peerview_overlay(
+        r=r, topology=topology, duration=duration, seed=seed,
+        config=config, observers=[0],
+    )
+    series = peerview_size_series(result.log, "rdv-0")
+    times, values = sample_at(series, 0.0, duration, sample_step)
+    sizes = result.overlay.group.peerview_sizes()
+    network = result.overlay.group.network
+
+    plateau_xs = [duration * (0.75 + 0.25 * i / 10) for i in range(11)]
+    plateau_vals = series.sampled(plateau_xs)
+    return {
+        "series_times": times,
+        "series_values": values,
+        "peak_l": series.max(),
+        "peak_time_s": series.time_of_max(),
+        "reached_max": bool(series.max() >= r - 1),
+        "plateau_l": sum(plateau_vals) / len(plateau_vals),
+        "min_l": min(sizes),
+        "mean_l": sum(sizes) / len(sizes),
+        "property_2": bool(result.overlay.group.property_2_satisfied()),
+        "bandwidth_bps_per_rdv": network.stats.bytes_sent * 8.0 / duration / r,
+    }
+
+
+@register_task("churn")
+def churn_point(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One discovery-under-churn measurement (§5 volatility study)."""
+    import dataclasses
+
+    from repro.experiments.churn_exp import run_point
+
+    point = run_point(
+        r=int(params.get("r", 16)),
+        mean_session=float(params["mean_session"]),
+        mean_downtime=float(params.get("mean_downtime", 5 * MINUTES)),
+        queries=int(params.get("queries", 60)),
+        seed=int(params.get("seed", 1)),
+    )
+    return dataclasses.asdict(point)
+
+
+@register_task("experiment")
+def experiment_task(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one whole experiment module; capture its rendered output and
+    route its structured results through the existing exporter."""
+    from repro.experiments.cli import EXPERIMENTS
+    from repro.experiments.export import save_results
+
+    name = params["name"]
+    full = bool(params.get("full", False))
+    seed = int(params.get("seed", 1))
+    out = params.get("out")
+
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        results = EXPERIMENTS[name](full=full, seed=seed)
+
+    written = []
+    if out is not None:
+        out_dir = Path(out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{name}.txt").write_text(buffer.getvalue())
+        written.append(str(out_dir / f"{name}.txt"))
+        written.extend(str(p) for p in save_results(name, results, out_dir))
+    return {
+        "experiment": name,
+        "full": full,
+        "seed": seed,
+        "rendered_chars": len(buffer.getvalue()),
+        "files": written,
+    }

@@ -3,6 +3,14 @@
 ``--full`` runs the paper-scale configuration (580 rendezvous peers,
 two-hour timelines, the 0–200 discovery sweep); without it a reduced
 but shape-preserving configuration runs in seconds to minutes.
+
+``--seeds N`` repeats the experiment over N consecutive seeds and
+reports the cross-seed spread (mean/std/95% CI per metric) through the
+campaign aggregator.
+
+``jxta-repro sweep <campaign>`` hands over to the parallel, resumable
+campaign orchestrator (:mod:`repro.campaign`) — see
+``jxta-repro sweep --list`` and docs/CAMPAIGNS.md.
 """
 
 from __future__ import annotations
@@ -42,6 +50,14 @@ EXPERIMENTS = {
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sweep":
+        # campaign orchestration has its own option surface; the import
+        # is lazy because repro.campaign imports this module's registry
+        from repro.campaign.cli import main as sweep_main
+
+        return sweep_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="jxta-repro",
         description=(
@@ -53,7 +69,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all"],
-        help="which table/figure to regenerate",
+        help="which table/figure to regenerate (or 'sweep' for "
+        "campaign orchestration — see 'jxta-repro sweep --help')",
     )
     parser.add_argument(
         "--full",
@@ -61,6 +78,16 @@ def main(argv=None) -> int:
         help="paper-scale run (580 peers / 120 min / full sweeps)",
     )
     parser.add_argument("--seed", type=int, default=1, help="master RNG seed")
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "repeat over N consecutive seeds (starting at --seed) and "
+            "report the cross-seed spread per metric"
+        ),
+    )
     parser.add_argument(
         "--out",
         type=str,
@@ -96,6 +123,8 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.seeds < 1:
+        parser.error("--seeds must be >= 1")
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         if args.experiment == "all":
@@ -111,7 +140,41 @@ def main(argv=None) -> int:
 
             for path in save_results(name, results, Path(args.out)):
                 print(f"# wrote {path}")
+        if args.seeds > 1:
+            _run_seed_spread(name, results, args)
     return 0
+
+
+def _run_seed_spread(name: str, first_results, args) -> None:
+    """Re-run ``name`` for the remaining seeds and print the cross-seed
+    spread via the campaign aggregator."""
+    from repro.campaign.aggregate import (
+        aggregate_records,
+        experiment_seed_records,
+        render_aggregate_table,
+    )
+
+    per_seed = {args.seed: first_results}
+    for seed in range(args.seed + 1, args.seed + args.seeds):
+        print(f"# seed {seed} ...", flush=True)
+        per_seed[seed] = EXPERIMENTS[name](full=args.full, seed=seed)
+    records = experiment_seed_records(name, per_seed)
+    rows, _ = aggregate_records(records, campaign=name)
+    if not rows:
+        print(f"# {name}: no scalar metrics to aggregate across seeds")
+        return
+    print(
+        f"\n{name} — cross-seed spread over seeds "
+        f"{args.seed}..{args.seed + args.seeds - 1}\n"
+    )
+    print(render_aggregate_table(rows))
+    if args.out is not None:
+        from pathlib import Path
+
+        from repro.experiments.export import save_results
+
+        for path in save_results(f"{name}-seeds", rows, Path(args.out)):
+            print(f"# wrote {path}")
 
 
 def _run_profiled(name: str, args):

@@ -13,6 +13,7 @@ from repro.metrics.events import EventLog, EventRecord, attach_peerview_logger
 from repro.metrics.series import (
     StepSeries,
     convergence_ratio_series,
+    elementwise_mean_std,
     latency_stats,
     peerview_size_series,
     sample_at,
@@ -26,6 +27,7 @@ __all__ = [
     "StepSeries",
     "attach_peerview_logger",
     "convergence_ratio_series",
+    "elementwise_mean_std",
     "latency_stats",
     "peerview_size_series",
     "render_series",

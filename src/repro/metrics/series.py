@@ -113,6 +113,33 @@ def sample_at(series: StepSeries, start: float, stop: float, step: float) -> Tup
     return xs, series.sampled(xs)
 
 
+def elementwise_mean_std(
+    rows: Sequence[Sequence[float]],
+) -> Tuple[List[float], List[float]]:
+    """Element-wise mean and sample std (ddof=1; 0 for one row) over
+    equal-length rows — e.g. the same sampled l(t) curve across seeds,
+    for the campaign aggregator's cross-seed series."""
+    if not rows:
+        raise ValueError("no rows")
+    length = len(rows[0])
+    for row in rows:
+        if len(row) != length:
+            raise ValueError("rows must have equal length")
+    n = len(rows)
+    means: List[float] = []
+    stds: List[float] = []
+    for i in range(length):
+        column = [row[i] for row in rows]
+        mean = sum(column) / n
+        means.append(mean)
+        if n == 1:
+            stds.append(0.0)
+        else:
+            var = sum((v - mean) ** 2 for v in column) / (n - 1)
+            stds.append(math.sqrt(var))
+    return means, stds
+
+
 def latency_stats(samples: Iterable[float]) -> Dict[str, float]:
     """Mean/min/max/p95 of a latency sample set, in the input unit."""
     data = sorted(samples)

@@ -1,0 +1,135 @@
+"""Unit tests for campaign specs: grid expansion and content keys."""
+
+import pytest
+
+from repro.campaign.spec import (
+    CampaignSpec,
+    canonical_json,
+    derive_seed,
+    task_key,
+)
+
+
+class TestCanonicalJson:
+    def test_key_order_is_canonical(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_compact(self):
+        assert canonical_json({"a": [1, 2]}) == '{"a":[1,2]}'
+
+
+class TestTaskKey:
+    def test_stable_across_declaration_order(self):
+        assert task_key("t", {"r": 10, "seed": 1}) == task_key(
+            "t", {"seed": 1, "r": 10}
+        )
+
+    def test_distinguishes_params_and_type(self):
+        base = task_key("t", {"r": 10})
+        assert task_key("t", {"r": 11}) != base
+        assert task_key("u", {"r": 10}) != base
+
+    def test_shape(self):
+        key = task_key("t", {"r": 10})
+        assert len(key) == 16
+        assert int(key, 16) >= 0
+
+
+class TestExpansion:
+    def spec(self):
+        return CampaignSpec(
+            name="demo",
+            task_type="t",
+            grid={"r": [10, 20], "seed": [1, 2, 3]},
+            base={"duration": 60.0},
+        )
+
+    def test_cartesian_product(self):
+        tasks = self.spec().expand()
+        assert len(tasks) == 6
+        assert {(t.params["r"], t.params["seed"]) for t in tasks} == {
+            (r, s) for r in (10, 20) for s in (1, 2, 3)
+        }
+
+    def test_base_merged_into_every_task(self):
+        assert all(t.params["duration"] == 60.0 for t in self.spec().expand())
+
+    def test_deterministic_order_and_keys(self):
+        a, b = self.spec().expand(), self.spec().expand()
+        assert [t.key for t in a] == [t.key for t in b]
+
+    def test_dict_axis_values_merge(self):
+        spec = CampaignSpec(
+            name="demo",
+            task_type="t",
+            grid={"config": [{"r": 10, "topology": "chain"}], "seed": [1]},
+        )
+        (task,) = spec.expand()
+        assert task.params == {"r": 10, "topology": "chain", "seed": 1}
+        assert "config" not in task.params
+
+    def test_duplicate_tasks_rejected(self):
+        spec = CampaignSpec(
+            name="demo", task_type="t", grid={"r": [10, 10]}
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            spec.expand()
+
+    def test_empty_axis_rejected(self):
+        spec = CampaignSpec(name="demo", task_type="t", grid={"r": []})
+        with pytest.raises(ValueError, match="no values"):
+            spec.expand()
+
+    def test_label_is_compact(self):
+        task = self.spec().expand()[0]
+        assert task.label().startswith("t(")
+        assert "r=10" in task.label()
+
+    def test_seed_property(self):
+        assert self.spec().expand()[0].seed in (1, 2, 3)
+
+
+class TestSpecHash:
+    def test_sensitive_to_grid_and_base(self):
+        spec = CampaignSpec("n", "t", {"r": [1]}, base={"d": 1})
+        assert spec.spec_hash() != CampaignSpec("n", "t", {"r": [2]}, {"d": 1}).spec_hash()
+        assert spec.spec_hash() != CampaignSpec("n", "t", {"r": [1]}, {"d": 2}).spec_hash()
+        assert spec.spec_hash() == CampaignSpec("n", "t", {"r": [1]}, {"d": 1}).spec_hash()
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_positive(self):
+        assert derive_seed(1, "abc") == derive_seed(1, "abc")
+        assert derive_seed(1, "abc") != derive_seed(2, "abc")
+        assert derive_seed(1, "abc") >= 1
+
+
+class TestBuiltinCampaigns:
+    def test_every_builtin_expands(self):
+        from repro.campaign.builtin import CAMPAIGNS, build_campaign
+
+        for name in CAMPAIGNS:
+            spec = build_campaign(name, seeds=2)
+            tasks = spec.expand()
+            assert tasks, name
+            assert len({t.key for t in tasks}) == len(tasks)
+
+    def test_seed_axis(self):
+        from repro.campaign.builtin import build_campaign
+
+        spec = build_campaign("fig3", seeds=3, base_seed=7)
+        seeds = {t.params["seed"] for t in spec.expand()}
+        assert seeds == {7, 8, 9}
+
+    def test_full_grid_is_paper_scale(self):
+        from repro.campaign.builtin import build_campaign
+        from repro.experiments.fig3_left import CI_CONFIGS, PAPER_CONFIGS
+
+        assert len(build_campaign("fig3").expand()) == len(CI_CONFIGS)
+        assert len(build_campaign("fig3", full=True).expand()) == len(PAPER_CONFIGS)
+
+    def test_unknown_campaign(self):
+        from repro.campaign.builtin import build_campaign
+
+        with pytest.raises(KeyError, match="unknown campaign"):
+            build_campaign("nope")

@@ -1,0 +1,118 @@
+"""Unit tests for the crash-safe JSONL run store."""
+
+import json
+
+from repro.campaign.store import RunStore
+
+
+def record(key, status="ok", **extra):
+    return {"key": key, "status": status, "params": {"seed": 1},
+            "result": {"x": 1.0}, **extra}
+
+
+class TestAppendAndLoad:
+    def test_round_trip(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        store.append(record("a"))
+        store.append(record("b"))
+        assert [r["key"] for r in store.records()] == ["a", "b"]
+
+    def test_empty_store(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        assert store.records() == []
+        assert store.completed() == {}
+
+    def test_completed_filters_status(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        store.append(record("a"))
+        store.append(record("b", status="error"))
+        assert set(store.completed()) == {"a"}
+
+    def test_last_record_wins(self, tmp_path):
+        """A retry that succeeds supersedes the earlier failure."""
+        store = RunStore(tmp_path / "run")
+        store.append(record("a", status="crashed"))
+        store.append(record("a", status="ok"))
+        assert set(store.completed()) == {"a"}
+        # and in reverse: a later failure hides the task again
+        store.append(record("a", status="timeout"))
+        assert store.completed() == {}
+
+
+class TestCrashTolerance:
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        store.append(record("a"))
+        with open(store.tasks_path, "a") as fh:
+            fh.write('{"key": "b", "status": "ok", "resu')  # SIGKILL here
+        assert [r["key"] for r in store.records()] == ["a"]
+        assert set(store.completed()) == {"a"}
+
+    def test_append_after_torn_line_heals(self, tmp_path):
+        """Re-opening the store after a crash terminates the fragment,
+        so the next append cannot be glued onto it."""
+        store = RunStore(tmp_path / "run")
+        store.append(record("a"))
+        with open(store.tasks_path, "a") as fh:
+            fh.write('{"key": "b", "status": "ok", "resu')
+        resumed = RunStore(store.root)  # what --resume does
+        resumed.append(record("c"))
+        assert [r["key"] for r in resumed.records()] == ["a", "c"]
+
+    def test_multiple_crash_fragments_tolerated(self, tmp_path):
+        """One torn fragment per killed run: each is healed onto its own
+        line and skipped by the loader."""
+        store = RunStore(tmp_path / "run")
+        for i, fragment in enumerate(['{"key": "x1"', '{"ke']):
+            with open(store.tasks_path, "a") as fh:
+                fh.write(fragment)
+            store = RunStore(store.root)
+            store.append(record(f"ok{i}"))
+        assert [r["key"] for r in store.records()] == ["ok0", "ok1"]
+        assert set(store.completed()) == {"ok0", "ok1"}
+
+    def test_parseable_non_record_lines_skipped(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        with open(store.tasks_path, "a") as fh:
+            fh.write('{"no_key": 1}\n[1, 2]\n')
+        store.append(record("a"))
+        assert [r["key"] for r in store.records()] == ["a"]
+
+
+class TestRotation:
+    def test_rotate_moves_existing_runs_aside(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        assert store.rotate() is None
+        store.append(record("a"))
+        first = store.rotate()
+        assert first is not None and first.exists()
+        assert store.records() == []
+        store.append(record("b"))
+        second = store.rotate()
+        assert second != first and second.exists()
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        assert store.read_manifest() is None
+        store.write_manifest({"jobs": 4, "wall_seconds": 1.5})
+        assert store.read_manifest() == {"jobs": 4, "wall_seconds": 1.5}
+
+    def test_atomic_replace(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        store.write_manifest({"v": 1})
+        store.write_manifest({"v": 2})
+        assert store.read_manifest() == {"v": 2}
+        assert not store.manifest_path.with_suffix(".json.tmp").exists()
+
+    def test_canonical_lines(self, tmp_path):
+        """Records serialize with sorted keys — the byte-identical
+        aggregate guarantee starts here."""
+        store = RunStore(tmp_path / "run")
+        store.append({"key": "a", "status": "ok", "b": 1, "a": 2})
+        line = store.tasks_path.read_text().strip()
+        assert line == json.dumps(
+            {"a": 2, "b": 1, "key": "a", "status": "ok"},
+            sort_keys=True, separators=(",", ":"),
+        )

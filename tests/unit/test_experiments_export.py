@@ -5,7 +5,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments.export import save_results
+from repro.experiments.export import _csv_cell, save_results
 from repro.experiments.fig3_left import Fig3LeftSeries
 from repro.experiments.fig3_right import Fig3RightResult
 from repro.experiments.fig4_left import Fig4LeftResult
@@ -75,8 +75,102 @@ class TestPointListExport:
         assert lines[1].startswith("5,A,12.8")
 
 
+class TestCsvCell:
+    """Direct coverage of the cell-reduction rules."""
+
+    def test_scalars_pass_through(self):
+        assert _csv_cell(3) == 3
+        assert _csv_cell(2.5) == 2.5
+        assert _csv_cell("x") == "x"
+        assert _csv_cell(None) is None
+
+    def test_nested_dataclass_reduces_to_name(self):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Scenario:
+            name: str
+            intensity: float
+
+        assert _csv_cell(Scenario(name="loss-10", intensity=0.1)) == "loss-10"
+
+    def test_nameless_dataclass_falls_back_to_str(self):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Point:
+            x: int
+
+        assert _csv_cell(Point(x=1)) == str(Point(x=1))
+
+    def test_dataclass_type_not_reduced(self):
+        """A dataclass *class* (not instance) is passed through."""
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Point:
+            x: int
+
+        assert _csv_cell(Point) is Point
+
+    def test_dict_becomes_sorted_compact_json(self):
+        cell = _csv_cell({"b": 2, "a": 1})
+        assert cell == '{"a": 1, "b": 2}'
+        assert json.loads(cell) == {"a": 1, "b": 2}
+
+    def test_dict_cell_round_trips_through_csv(self, tmp_path):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Row:
+            r: int
+            extras: dict
+
+        written = save_results(
+            "dictcell", [Row(r=1, extras={"k": "v"})], tmp_path
+        )
+        lines = written[0].read_text().splitlines()
+        assert lines[0] == "r,extras"
+        assert '""k"": ""v""' in lines[1]  # csv-quoted JSON payload
+
+
 class TestFallbackJson:
     def test_unknown_shape_becomes_json(self, tmp_path):
         written = save_results("misc", {"a": 1}, tmp_path)
         assert written == [tmp_path / "misc.json"]
         assert json.loads(written[0].read_text()) == {"a": 1}
+
+    def test_single_dataclass_keeps_json_safe_fields_only(self, tmp_path):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Result:
+            r: int
+            label: str
+            ok: bool
+            ratio: float
+            tags: list
+            meta: dict
+            series: object = None  # not JSON-serializable -> dropped
+
+        result = Result(
+            r=5, label="x", ok=True, ratio=0.5,
+            tags=[1, 2], meta={"k": 1}, series=object(),
+        )
+        written = save_results("single", result, tmp_path)
+        assert written == [tmp_path / "single.json"]
+        data = json.loads(written[0].read_text())
+        assert data == {
+            "r": 5, "label": "x", "ok": True, "ratio": 0.5,
+            "tags": [1, 2], "meta": {"k": 1},
+        }
+
+    def test_non_serializable_leaf_becomes_str(self, tmp_path):
+        written = save_results("weird", {"path": Path("/tmp/x")}, tmp_path)
+        data = json.loads(written[0].read_text())
+        assert data == {"path": "/tmp/x"}
+
+    def test_empty_list_falls_through_to_json(self, tmp_path):
+        written = save_results("empty", [], tmp_path)
+        assert written == [tmp_path / "empty.json"]
+        assert json.loads(written[0].read_text()) == []
