@@ -4,7 +4,7 @@ PYTHON ?= python
 # worker pool width for campaign sweeps (make experiments JOBS=8)
 JOBS ?= $(shell $(PYTHON) -c "import os; print(os.cpu_count() or 1)")
 
-.PHONY: install test smoke-faults smoke-campaign bench examples experiments experiments-full clean
+.PHONY: install test smoke-faults smoke-campaign bench profile examples experiments experiments-full clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -34,6 +34,16 @@ bench:
 	$(PYTHON) scripts/bench_trajectory.py record .benchmarks/latest.json \
 		--label "$(BENCH_LABEL)"
 	$(PYTHON) scripts/bench_trajectory.py show
+
+# Memory/allocation profile of the benchmark workloads: runs them once
+# under tracemalloc (several times slower than `make bench`, so the
+# timings are NOT recorded) and prints peak RSS, tracemalloc peak and
+# allocation-block counts per benchmark from the JSON export.
+profile:
+	mkdir -p .benchmarks
+	REPRO_BENCH_TRACEMALLOC=1 $(PYTHON) -m pytest benchmarks/ \
+		--benchmark-only --benchmark-json=.benchmarks/profile.json
+	$(PYTHON) scripts/bench_trajectory.py memory .benchmarks/profile.json
 
 examples:
 	@for f in examples/*.py; do \

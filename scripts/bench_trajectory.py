@@ -53,12 +53,27 @@ def _stats_of(report: dict) -> dict:
     return out
 
 
+#: extra_info keys (attached by ``benchmarks/conftest.py``) copied into
+#: trajectory entries when present.  ``peak_rss_kb`` is always emitted;
+#: the tracemalloc pair only under ``REPRO_BENCH_TRACEMALLOC=1``.
+MEMORY_KEYS = ("peak_rss_kb", "tracemalloc_peak_kb", "tracemalloc_alloc_blocks")
+
+
+def _extra_info_of(report: dict) -> dict:
+    """name -> extra_info dict from a pytest-benchmark JSON export."""
+    return {
+        bench["name"]: bench.get("extra_info", {})
+        for bench in report.get("benchmarks", [])
+    }
+
+
 def cmd_record(args: argparse.Namespace) -> int:
     report = json.loads(Path(args.report).read_text())
     trajectory = _load_trajectory(TRAJECTORY)
     machine = report.get("machine_info", {})
     recorded_at = report.get("datetime", "")
     stats = _stats_of(report)
+    extra = _extra_info_of(report)
     if not stats:
         print(f"no benchmarks found in {args.report}", file=sys.stderr)
         return 1
@@ -73,6 +88,9 @@ def cmd_record(args: argparse.Namespace) -> int:
             "rounds": s["rounds"],
             "python": machine.get("python_version", ""),
         }
+        for key in MEMORY_KEYS:
+            if key in extra.get(name, {}):
+                entry[key] = extra[name][key]
         if args.commit:
             entry["commit"] = args.commit
         trajectory["benchmarks"].setdefault(name, []).append(entry)
@@ -94,11 +112,36 @@ def cmd_show(args: argparse.Namespace) -> int:
         for e in entries:
             speedup = base / e["min_s"] if e["min_s"] else float("inf")
             commit = e.get("commit", "")
+            rss = (
+                f"  rss {e['peak_rss_kb'] / 1024:6.0f} MB"
+                if "peak_rss_kb" in e
+                else ""
+            )
             print(
                 f"  {e['label']:<28} min {e['min_s'] * 1e3:9.1f} ms"
                 f"  median {e['median_s'] * 1e3:9.1f} ms"
-                f"  x{speedup:5.2f}  {commit}"
+                f"  x{speedup:5.2f}{rss}  {commit}"
             )
+    return 0
+
+
+def cmd_memory(args: argparse.Namespace) -> int:
+    """Print the memory telemetry attached by benchmarks/conftest.py."""
+    report = json.loads(Path(args.report).read_text())
+    extra = _extra_info_of(report)
+    if not extra:
+        print(f"no benchmarks found in {args.report}", file=sys.stderr)
+        return 1
+    for name, info in extra.items():
+        rss = info.get("peak_rss_kb")
+        peak = info.get("tracemalloc_peak_kb")
+        blocks = info.get("tracemalloc_alloc_blocks")
+        line = f"{name}: peak RSS {rss / 1024:.0f} MB" if rss else name
+        if peak is not None:
+            line += f", tracemalloc peak {peak / 1024:.1f} MB"
+        if blocks is not None:
+            line += f", {blocks} live allocation blocks"
+        print(line)
     return 0
 
 
@@ -130,6 +173,10 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("show", help="print the trajectory")
     p.set_defaults(fn=cmd_show)
+
+    p = sub.add_parser("memory", help="print memory telemetry of a report")
+    p.add_argument("report", help="pytest-benchmark JSON file")
+    p.set_defaults(fn=cmd_memory)
 
     p = sub.add_parser("check", help="assert a floor on one benchmark")
     p.add_argument("report", help="pytest-benchmark JSON file")

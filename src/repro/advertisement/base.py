@@ -94,18 +94,25 @@ class Advertisement:
     def size_bytes(self) -> int:
         """Approximate wire size: the UTF-8 length of the XML form.
 
-        Memoized per field-value tuple: every message send asks for the
-        size, and rebuilding the ElementTree each time dominated the
-        protocol-stack benchmark.  The memo is keyed on the current
-        field values, so mutating an advertisement transparently
-        recomputes the size."""
-        fields = tuple(self._fields())
-        memo = getattr(self, "_size_memo", None)
-        if memo is not None and memo[0] == fields:
-            return memo[1]
-        size = len(self.to_xml().encode("utf-8"))
-        self._size_memo = (fields, size)
+        Cached on the instance: every message send asks for the size,
+        and rebuilding the ElementTree (or even just the field tuple)
+        each time dominated the protocol-stack benchmark.  The cache is
+        invalidated by :meth:`__setattr__`, so mutating any field
+        transparently recomputes the size."""
+        size = self.__dict__.get("_size_cache")
+        if size is None:
+            size = len(self.to_xml().encode("utf-8"))
+            self.__dict__["_size_cache"] = size
         return size
+
+    def __setattr__(self, name: str, value: object) -> None:
+        # drop the cached wire size on any field mutation; writes are
+        # rare (construction, codec round-trips) while size_bytes runs
+        # once per message sent
+        d = self.__dict__
+        d[name] = value
+        if "_size_cache" in d:
+            del d["_size_cache"]
 
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:

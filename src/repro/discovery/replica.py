@@ -59,14 +59,22 @@ class ReplicaFunction:
             raise ValueError(f"max_hash must be > 0 (got {max_hash})")
         self.max_hash = max_hash
         self.hash_fn = hash_fn if hash_fn is not None else sha1_hash
+        #: tuple -> hash memo: a replica rank is recomputed for the
+        #: same tuple on every SRDI push/query, and the hash (a SHA-1
+        #: over the concatenated key) never changes for a tuple
+        self._memo: dict = {}
 
     def hash_value(self, index_tuple: IndexTuple) -> int:
-        """The (possibly injected) hash of a tuple's key string."""
-        value = self.hash_fn(index_tuple_key(index_tuple))
-        if not (0 <= value < self.max_hash):
-            raise ValueError(
-                f"hash {value} outside [0, MAX_HASH={self.max_hash})"
-            )
+        """The (possibly injected) hash of a tuple's key string.
+        Memoised per tuple — the hash is pure in the tuple."""
+        value = self._memo.get(index_tuple)
+        if value is None:
+            value = self.hash_fn(index_tuple_key(index_tuple))
+            if not (0 <= value < self.max_hash):
+                raise ValueError(
+                    f"hash {value} outside [0, MAX_HASH={self.max_hash})"
+                )
+            self._memo[index_tuple] = value
         return value
 
     def rank(self, index_tuple: IndexTuple, member_count: int) -> int:

@@ -142,7 +142,10 @@ class DiscoveryService(QueryHandler):
         self.view = view
         self.lease_client = lease_client
         self.replica_fn = replica_fn if replica_fn is not None else ReplicaFunction()
-        self.srdi = SrdiIndex() if is_rendezvous else None
+        self.srdi = (
+            SrdiIndex(interner=resolver.endpoint.interner)
+            if is_rendezvous else None
+        )
         self._outstanding: Dict[int, _Outstanding] = {}
         # stats
         self.queries_handled = 0
@@ -362,11 +365,13 @@ class DiscoveryService(QueryHandler):
             # JXTA 1.0: the edge's own rendezvous is the only index holder
             return
         for index_tuple, expiration in payload.entries:
-            replica = self._replica_peer(index_tuple)
-            if replica is None or replica == self.view.local_peer_id:
+            # key-level compare: "is the replica me?" runs once per
+            # tuple per push, so it must not hash/compare PeerIDs
+            replica_key = self._replica_key(index_tuple)
+            if replica_key is None or replica_key == self.view.local_key:
                 continue
             self.resolver.send_srdi(
-                replica,
+                self.view.interner.id_of(replica_key),
                 DISCOVERY_HANDLER_NAME,
                 SrdiPayload(
                     entries=[(index_tuple, expiration)],
@@ -376,13 +381,17 @@ class DiscoveryService(QueryHandler):
                 ),
             )
 
-    def _replica_peer(self, index_tuple: IndexTuple) -> Optional[PeerID]:
-        """ReplicaPeer(tuple) on the local peerview."""
+    def _replica_key(self, index_tuple: IndexTuple) -> Optional[int]:
+        """Interned key of ReplicaPeer(tuple) on the local peerview."""
         count = self.view.member_count()
         if count == 0:
             return None
-        rank = self.replica_fn.rank(index_tuple, count)
-        return self.view.id_at(rank)
+        return self.view.key_at(self.replica_fn.rank(index_tuple, count))
+
+    def _replica_peer(self, index_tuple: IndexTuple) -> Optional[PeerID]:
+        """ReplicaPeer(tuple) on the local peerview."""
+        key = self._replica_key(index_tuple)
+        return None if key is None else self.view.interner.id_of(key)
 
     # ------------------------------------------------------------------
     def _handle_query(self, query: ResolverQuery) -> None:
@@ -455,10 +464,11 @@ class DiscoveryService(QueryHandler):
             # patterns and ranges hash to nothing useful: walk from here
             self._start_walk(query, payload)
         elif not payload.at_replica:
-            replica = self._replica_peer(payload.index_tuple())
-            if replica is None or replica == self.view.local_peer_id:
+            replica_key = self._replica_key(payload.index_tuple())
+            if replica_key is None or replica_key == self.view.local_key:
                 self._start_walk(query, payload)
             else:
+                replica = self.view.interner.id_of(replica_key)
                 self.queries_forwarded_to_replica += 1
 
                 def replica_unreachable(*_args, _r=replica):

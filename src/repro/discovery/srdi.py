@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro.advertisement.base import IndexTuple
 from repro.advertisement.cache import AdvertisementCache
 from repro.config import PlatformConfig
+from repro.ids.intern import IdInternTable
 from repro.ids.jxtaid import PeerID
 from repro.sim.kernel import Simulator
 from repro.sim.process import PeriodicTask, Process
@@ -61,10 +62,18 @@ class _SrdiRecord:
 
 
 class SrdiIndex:
-    """Rendezvous-side tuple store: index tuple -> publishers."""
+    """Rendezvous-side tuple store: index tuple -> publishers.
 
-    def __init__(self) -> None:
-        self._index: Dict[IndexTuple, Dict[PeerID, _SrdiRecord]] = {}
+    Publisher buckets key on interned peer keys (every SRDI push hits
+    them); records keep the publisher :class:`PeerID` for the query
+    forwarding path.  A reverse ``publisher key -> tuples`` index makes
+    :meth:`remove_publisher` (edge churn) proportional to the departed
+    publisher's tuples instead of the whole store."""
+
+    def __init__(self, interner: Optional[IdInternTable] = None) -> None:
+        self.interner = interner if interner is not None else IdInternTable()
+        self._index: Dict[IndexTuple, Dict[int, _SrdiRecord]] = {}
+        self._by_publisher: Dict[int, Set[IndexTuple]] = {}
         self._count = 0
         self.inserts = 0
 
@@ -85,10 +94,12 @@ class SrdiIndex:
         """Insert/refresh one record."""
         if expiration <= 0:
             raise ValueError(f"expiration must be > 0 (got {expiration})")
+        key = self.interner.intern(publisher)
         bucket = self._index.setdefault(index_tuple, {})
-        if publisher not in bucket:
+        if key not in bucket:
             self._count += 1
-        bucket[publisher] = _SrdiRecord(
+            self._by_publisher.setdefault(key, set()).add(index_tuple)
+        bucket[key] = _SrdiRecord(
             publisher=publisher,
             publisher_address=publisher_address,
             expires_at=now + expiration,
@@ -106,9 +117,16 @@ class SrdiIndex:
 
     def remove_publisher(self, publisher: PeerID) -> int:
         """Drop every record from one publisher (edge departed)."""
+        key = self.interner.lookup(publisher)
+        if key is None:
+            return 0
+        tuples = self._by_publisher.pop(key, None)
+        if not tuples:
+            return 0
         dropped = 0
-        for bucket in self._index.values():
-            if bucket.pop(publisher, None) is not None:
+        for index_tuple in tuples:
+            bucket = self._index.get(index_tuple)
+            if bucket is not None and bucket.pop(key, None) is not None:
                 dropped += 1
         self._count -= dropped
         return dropped
@@ -116,11 +134,17 @@ class SrdiIndex:
     def purge_expired(self, now: float) -> int:
         """Drop expired records; returns the count dropped."""
         dropped = 0
+        by_publisher = self._by_publisher
         for index_tuple in list(self._index):
             bucket = self._index[index_tuple]
-            dead = [p for p, r in bucket.items() if r.expires_at <= now]
-            for p in dead:
-                del bucket[p]
+            dead = [k for k, r in bucket.items() if r.expires_at <= now]
+            for k in dead:
+                del bucket[k]
+                tuples = by_publisher.get(k)
+                if tuples is not None:
+                    tuples.discard(index_tuple)
+                    if not tuples:
+                        del by_publisher[k]
             dropped += len(dead)
             if not bucket:
                 del self._index[index_tuple]
@@ -134,6 +158,7 @@ class SrdiIndex:
     def clear(self) -> None:
         """Drop the whole store (rendezvous crash: SRDI is in-memory)."""
         self._index.clear()
+        self._by_publisher.clear()
         self._count = 0
 
 

@@ -39,7 +39,10 @@ class EndpointRouter:
     def __init__(self, endpoint: "EndpointService") -> None:  # noqa: F821
         self.endpoint = endpoint
         endpoint.router = self
-        self._routes: Dict[PeerID, List[str]] = {}
+        #: interned peer key -> hop list; reverse-route learning runs
+        #: once per received message, so the table hashes dense ints
+        self.interner = endpoint.interner
+        self._routes: Dict[int, List[str]] = {}
         self._default_route: Optional[str] = None
         self.forwards = 0
         self.no_route_drops = 0
@@ -51,7 +54,21 @@ class EndpointRouter:
         """Install/replace the route to ``peer_id``."""
         if not hops:
             raise ValueError("route needs at least one hop")
-        self._routes[peer_id] = list(hops)
+        key = self.interner.intern(peer_id)
+        existing = self._routes.get(key)
+        if existing != hops:
+            # skip the copy when the route is unchanged — protocols
+            # re-install the same single-hop route on every message
+            self._routes[key] = list(hops)
+
+    def add_direct_route(self, peer_id: PeerID, address: str) -> None:
+        """Install/refresh a single-hop route without the hop-list
+        allocation of :meth:`add_route` — the peerview learn path runs
+        this once per probe/response/update received."""
+        key = self.interner.intern(peer_id)
+        existing = self._routes.get(key)
+        if existing is None or len(existing) != 1 or existing[0] != address:
+            self._routes[key] = [address]
 
     def add_route_advertisement(self, adv: RouteAdvertisement) -> None:
         self.add_route(adv.dst_peer_id, adv.hops)
@@ -59,25 +76,34 @@ class EndpointRouter:
     def learn_reverse_route(self, peer_id: PeerID, origin_address: str) -> None:
         """Learn a direct route back to a message origin.  Never
         overwrites an explicitly installed multi-hop route."""
-        if peer_id == self.endpoint.peer_id:
+        key = self.interner.intern(peer_id)
+        if key == self.endpoint.peer_key:
             return
-        existing = self._routes.get(peer_id)
-        if existing is None or len(existing) == 1:
-            self._routes[peer_id] = [origin_address]
+        existing = self._routes.get(key)
+        if existing is None or (
+            len(existing) == 1 and existing[0] != origin_address
+        ):
+            # unchanged single-hop routes (the common case: every
+            # message from a stable peer) skip the list allocation
+            self._routes[key] = [origin_address]
 
     def remove_route(self, peer_id: PeerID) -> None:
-        self._routes.pop(peer_id, None)
+        key = self.interner.lookup(peer_id)
+        if key is not None:
+            self._routes.pop(key, None)
 
     def set_default_route(self, transport_address: Optional[str]) -> None:
         """Route of last resort (an edge peer's rendezvous)."""
         self._default_route = transport_address
 
     def has_route(self, peer_id: PeerID) -> bool:
-        return peer_id in self._routes
+        key = self.interner.lookup(peer_id)
+        return key is not None and key in self._routes
 
     def resolve(self, peer_id: PeerID) -> Optional[List[str]]:
         """The hop list for ``peer_id``, or None if unroutable."""
-        hops = self._routes.get(peer_id)
+        key = self.interner.lookup(peer_id)
+        hops = None if key is None else self._routes.get(key)
         if hops is not None:
             return list(hops)
         if self._default_route is not None:
@@ -101,7 +127,10 @@ class EndpointRouter:
         (with ``on_drop`` notification when provided), like JXTA's
         best-effort propagation.
         """
-        if message.dst_peer == self.endpoint.peer_id:
+        if (
+            message.dst_peer is not None
+            and self.interner.intern(message.dst_peer) == self.endpoint.peer_key
+        ):
             # routing to self: deliver locally without a network hop
             self.endpoint._on_envelope(
                 Envelope(

@@ -32,8 +32,8 @@ EndpointListener = Callable[["EndpointMessage"], None]
 def _body_size(body: Any) -> int:
     """Best-effort serialized size of a message body."""
     size = getattr(body, "size_bytes", None)
-    if callable(size):
-        return int(size())
+    if size is not None:
+        return size()
     if isinstance(body, (bytes, str)):
         return len(body)
     return 256
@@ -60,6 +60,10 @@ class EndpointMessage:
     hops_taken: int = 0
 
     def size_bytes(self) -> int:
+        # _body_size inlined: computed once per message sent
+        size = getattr(self.body, "size_bytes", None)
+        if size is not None:
+            return MESSAGE_HEADER_BYTES + size()
         return MESSAGE_HEADER_BYTES + _body_size(self.body)
 
     def forwarded(self) -> "EndpointMessage":
@@ -81,6 +85,11 @@ class EndpointService:
         self.sim = sim
         self.network = network
         self.peer_id = peer_id
+        #: network-scoped intern table and this peer's dense key; the
+        #: per-message "is this for me?" test compares ints, not IDs
+        self.interner = network.interner
+        self.peer_key = self.interner.register(peer_id)
+        self._intern = self.interner.intern
         self.node = node
         self.transport_address = transport_address
         #: The address other peers should send to.  Equal to
@@ -145,11 +154,17 @@ class EndpointService:
         self.messages_out += 1
         if not message.origin_address:
             message.origin_address = self.advertised_address
+        # message.size_bytes() inlined (one frame per message sent)
+        body_size = getattr(message.body, "size_bytes", None)
+        if body_size is not None:
+            size = MESSAGE_HEADER_BYTES + body_size()
+        else:
+            size = MESSAGE_HEADER_BYTES + _body_size(message.body)
         self.network.send(
             self.transport_address,
             dst_transport_address,
             message,
-            size_bytes=message.size_bytes(),
+            size_bytes=size,
             on_drop=on_drop,
         )
 
@@ -168,14 +183,29 @@ class EndpointService:
     # ------------------------------------------------------------------
     def _on_envelope(self, envelope: Envelope) -> None:
         message = envelope.payload
-        if not isinstance(message, EndpointMessage):
+        if type(message) is not EndpointMessage:
             raise TypeError(
                 f"endpoint received non-endpoint payload: {type(message)!r}"
             )
         self.messages_in += 1
-        if self.router is not None and message.origin_address:
-            self.router.learn_reverse_route(message.src_peer, message.origin_address)
-        if message.dst_peer is not None and message.dst_peer != self.peer_id:
+        router = self.router
+        peer_key = self.peer_key
+        if router is not None and message.origin_address:
+            # inlined router.learn_reverse_route (kept as a method for
+            # other callers): this runs once per received message
+            key = self._intern(message.src_peer)
+            if key != peer_key:
+                routes = router._routes
+                existing = routes.get(key)
+                if existing is None or (
+                    len(existing) == 1
+                    and existing[0] != message.origin_address
+                ):
+                    routes[key] = [message.origin_address]
+        if (
+            message.dst_peer is not None
+            and self._intern(message.dst_peer) != peer_key
+        ):
             # ERP relay (e.g. a rendezvous forwarding to its edge); the
             # router checks the HTTP relay queue before forwarding
             if self.router is None or message.ttl <= 0:

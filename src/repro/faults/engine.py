@@ -206,22 +206,22 @@ class FaultContext:
         its sign — and degrades to duplicating the largest ID when the
         view is too small to host a safe swap."""
         view = self.peer(name).view
-        ids = view._sorted_ids
-        if not ids:
+        order = view._order
+        if not order:
             return
         # the order book is mutated behind the view's back, so the
         # memoised ordered_ids snapshot must be dropped for the
         # corruption to be observable
         view.invalidate_ordered_view()
-        local_rank = ids.index(view.local_peer_id)
+        local_rank = order.index((view.local_peer_id._value, view.local_key))
         if mode == "swap":
-            if local_rank < len(ids) - 2:  # two entries above local
-                ids[-1], ids[-2] = ids[-2], ids[-1]
+            if local_rank < len(order) - 2:  # two entries above local
+                order[-1], order[-2] = order[-2], order[-1]
                 return
             if local_rank >= 2:  # two entries below local
-                ids[0], ids[1] = ids[1], ids[0]
+                order[0], order[1] = order[1], order[0]
                 return
-        ids.append(ids[-1])
+        order.append(order[-1])
 
 
 class ScenarioEngine(Process):

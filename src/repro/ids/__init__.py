@@ -17,6 +17,7 @@ The parts that matter for the paper's protocols are:
 """
 
 from repro.ids.idfactory import IDFactory
+from repro.ids.intern import IdInternTable
 from repro.ids.jxtaid import (
     ID_FORMAT,
     JxtaID,
@@ -31,6 +32,7 @@ from repro.ids.jxtaid import (
 __all__ = [
     "ID_FORMAT",
     "IDFactory",
+    "IdInternTable",
     "JxtaID",
     "ModuleClassID",
     "NET_PEER_GROUP_ID",

@@ -38,7 +38,7 @@ T = TypeVar("T", bound="JxtaID")
 class JxtaID:
     """Base class: an immutable, totally ordered JXTA identifier."""
 
-    __slots__ = ("_value", "_urn")
+    __slots__ = ("_value", "_urn", "_intern")
 
     #: Subclasses set their JXTA type byte here.
     TYPE_BYTE: int = TYPE_CODAT
@@ -108,6 +108,13 @@ class JxtaID:
         """Abbreviated hex form for logs (first 8 hex chars of the
         unique part)."""
         return self._value.hex().upper()[-18:-2][:8]
+
+    # The ``_intern`` slot caches this ID's interned integer key as a
+    # ``(table, key)`` pair (see :mod:`repro.ids.intern`).  It lives
+    # here, not in the table, so the common repeat-lookup — the same ID
+    # object flowing through peerview, router and SRDI on one message —
+    # costs one attribute load and an ``is`` check instead of a string
+    # of dict probes over URN-length byte keys.
 
 
 class PeerGroupID(JxtaID):

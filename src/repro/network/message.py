@@ -9,31 +9,47 @@ messages inside.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any
 
 _envelope_ids = itertools.count(1)
+_next_envelope_id = _envelope_ids.__next__
 
 
-@dataclass(slots=True)
 class Envelope:
-    """One message in flight between two transport addresses."""
+    """One message in flight between two transport addresses.
 
-    src: str
-    dst: str
-    payload: Any
-    #: Serialized size in bytes; drives the bandwidth term of the
-    #: delivery delay.  Payloads that know their size (JXTA messages)
-    #: report it; otherwise callers pass an estimate.
-    size_bytes: int = 512
-    #: Unique id for tracing / stats.
-    envelope_id: int = field(default_factory=lambda: next(_envelope_ids))
-    #: Simulated time the envelope was handed to the network.
-    sent_at: float = 0.0
+    A plain slots class rather than a dataclass: one envelope is built
+    per :meth:`repro.network.transport.Network.send`, and the generated
+    ``__init__`` + ``default_factory`` + ``__post_init__`` trio showed
+    up in the protocol-stack profile.
+    """
 
-    def __post_init__(self) -> None:
-        if self.size_bytes <= 0:
-            raise ValueError(f"size_bytes must be > 0 (got {self.size_bytes})")
+    __slots__ = ("src", "dst", "payload", "size_bytes", "envelope_id",
+                 "sent_at")
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        payload: Any,
+        size_bytes: int = 512,
+        envelope_id: int = 0,
+        sent_at: float = 0.0,
+    ) -> None:
+        if size_bytes <= 0:
+            raise ValueError(f"size_bytes must be > 0 (got {size_bytes})")
+        self.src = src
+        self.dst = dst
+        #: Opaque protocol payload (an EndpointMessage in practice).
+        self.payload = payload
+        #: Serialized size in bytes; drives the bandwidth term of the
+        #: delivery delay.  Payloads that know their size (JXTA
+        #: messages) report it; otherwise callers pass an estimate.
+        self.size_bytes = size_bytes
+        #: Unique id for tracing / stats.
+        self.envelope_id = envelope_id if envelope_id else _next_envelope_id()
+        #: Simulated time the envelope was handed to the network.
+        self.sent_at = sent_at
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

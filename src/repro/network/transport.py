@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
+from repro.ids.intern import IdInternTable
 from repro.network.latency import Grid5000Latency, LatencyModel
 from repro.network.message import Envelope
 from repro.network.site import Node
@@ -121,6 +122,11 @@ class Network:
         #: concurrent sends from one machine queue behind each other
         #: (visible when an SRDI burst pushes thousands of tuples).
         self.egress_queueing = egress_queueing
+        #: One intern table per network: every peer registers its ID at
+        #: construction, and the hot per-peer structures (peerview,
+        #: routing tables, lease maps, SRDI buckets) key on the dense
+        #: int keys instead of hashing 33-byte IDs per operation.
+        self.interner = IdInternTable()
         self.stats = TrafficStats()
         self._endpoints: Dict[str, tuple[Node, Handler]] = {}
         #: node id -> simulated time its NIC finishes the current send
@@ -139,6 +145,25 @@ class Network:
         # them eagerly draws nothing and changes no replay.
         self._latency_rng = sim.rng.stream("network.latency")
         self._loss_rng = sim.rng.stream("network.loss")
+        # the send path reads the clock once per message; going through
+        # the Simulator.now property twice per send showed up in the
+        # protocol-stack profile
+        self._clock = sim.clock
+        # bound methods resolved once (latency model and simulator are
+        # fixed for the network's lifetime)
+        self._latency_delay = self.latency.delay
+        self._schedule = sim.schedule
+        # Grid'5000 fast path: reuse the site-name pair tuple the stats
+        # counter needs anyway to probe the model's base-delay cache
+        # directly, and draw the jitter inline — exactly the arithmetic
+        # of Grid5000Latency.delay, minus the call.  Any other model
+        # (tests, custom topologies) goes through the generic call.
+        if type(self.latency) is Grid5000Latency:
+            self._g5k = self.latency
+            self._g5k_base = self.latency._base_cache.get
+        else:
+            self._g5k = None
+            self._g5k_base = None
 
     # ------------------------------------------------------------------
     # attachment
@@ -200,10 +225,13 @@ class Network:
         serialization = size_bytes * 8.0 / self.bandwidth_bps
         return serialization + self.sw_overhead
 
-    def _egress_delay(self, src_node: Node, size_bytes: int) -> float:
+    def _egress_delay(
+        self, src_node: Node, size_bytes: int, now: Optional[float] = None
+    ) -> float:
         """Time from now until the message has left ``src_node``'s NIC,
         accounting for earlier in-flight sends from the same machine."""
-        now = self.sim.now
+        if now is None:
+            now = self._clock._now
         serialization = size_bytes * 8.0 / self.bandwidth_bps
         if not self.egress_queueing:
             return serialization
@@ -236,36 +264,70 @@ class Network:
         if entry is None:
             raise DeliveryError(f"unknown source address: {src!r}")
         src_node = entry[0]
+        src_site = src_node.site
 
-        envelope = Envelope(
-            src=src, dst=dst, payload=payload, size_bytes=size_bytes,
-            sent_at=self.sim.now,
-        )
+        now = self._clock._now
+        envelope = Envelope(src, dst, payload, size_bytes, 0, now)
         dst_entry = self._endpoints.get(dst)
-        dst_node = dst_entry[0] if dst_entry is not None else src_node
-        dst_site = dst_node.site
+        dst_site = dst_entry[0].site if dst_entry is not None else src_site
 
-        self.stats.record_send(
-            src_node.site.name, dst_site.name, dst, size_bytes
-        )
+        # inlined stats.record_send (kept as a method for other callers):
+        # four counter updates per message add up at full scale
+        site_pair = (src_site.name, dst_site.name)
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += size_bytes
+        stats.site_pair_messages[site_pair] += 1
+        stats.per_destination[dst] += 1
 
-        delay = (
-            self._egress_delay(src_node, size_bytes)
-            + self.latency.delay(src_node.site, dst_site, self._latency_rng)
-            + self.sw_overhead
-        )
+        # inlined _egress_delay (kept as a method for tests/diagnostics):
+        # NIC serialization plus queueing behind this node's in-flight
+        # sends — send() is the hottest function in a full-scale run
+        serialization = size_bytes * 8.0 / self.bandwidth_bps
+        if self.egress_queueing:
+            busy = self._egress_busy_until
+            start = busy.get(src_node.node_id, 0.0)
+            if start < now:
+                start = now
+            busy[src_node.node_id] = start + serialization
+            queue_delay = start - now
+            if queue_delay > self.peak_queue_delay:
+                self.peak_queue_delay = queue_delay
+            egress = queue_delay + serialization
+        else:
+            egress = serialization
+
+        g5k = self._g5k
+        if g5k is not None:
+            base = self._g5k_base(site_pair)
+            if base is None:
+                base = g5k.base_delay(src_site, dst_site)
+            jitter = g5k.jitter
+            if jitter == 0:
+                latency = base
+            else:
+                lo = 1.0 - jitter
+                latency = base * (
+                    lo + ((1.0 + jitter) - lo) * self._latency_rng.random()
+                )
+        else:
+            latency = self._latency_delay(src_site, dst_site, self._latency_rng)
+        delay = egress + latency + self.sw_overhead
 
         decision = NO_FAULT
         if self.fault_controller is not None:
             decision = self.fault_controller.intercept(
-                envelope, src_node.site.name, dst_site.name
+                envelope, src_site.name, dst_site.name
             )
         delay += decision.extra_delay
 
         lost = (
             dst_entry is None
-            or self.is_partitioned(src_node.site.name, dst_site.name)
             or decision.drop
+            or (
+                self._partitions
+                and frozenset(site_pair) in self._partitions
+            )
             or (
                 self.loss_rate > 0.0
                 and self._loss_rng.random() < self.loss_rate
@@ -276,15 +338,15 @@ class Network:
             if decision.drop:
                 self.faulted_drops += 1
             if on_drop is not None:
-                self.sim.schedule(delay, on_drop, envelope, label="net.drop")
+                self._schedule(delay, on_drop, envelope, label="net.drop")
             return envelope
 
-        self.sim.schedule(
+        self._schedule(
             delay, self._deliver, envelope, on_drop, label="net.deliver"
         )
         for _ in range(decision.duplicates):
             self.faulted_duplicates += 1
-            self.sim.schedule(
+            self._schedule(
                 delay, self._deliver, envelope, None, label="net.deliver.dup"
             )
         return envelope
@@ -299,5 +361,5 @@ class Network:
             if on_drop is not None:
                 on_drop(envelope)
             return
-        self.stats.record_delivery()
+        self.stats.messages_delivered += 1
         entry[1](envelope)

@@ -9,8 +9,9 @@ its rendezvous stops answering.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.advertisement.rdvadv import RdvAdvertisement
 from repro.config import PlatformConfig
@@ -44,7 +45,14 @@ class RdvLeaseServer:
         self.endpoint = endpoint
         self.config = config
         self.local_adv = local_adv
-        self._leases: Dict[PeerID, EdgeLease] = {}
+        #: interned edge-peer key -> lease (purge runs per message, so
+        #: the map hashes ints); the heap is keyed by the lease expiry
+        #: *at push time* — renewals only ever push expiry later, so a
+        #: popped record is re-validated against the live lease and
+        #: re-pushed instead of scanning every lease per purge
+        self.interner = endpoint.interner
+        self._leases: Dict[int, EdgeLease] = {}
+        self._expiry_heap: List[Tuple[float, int]] = []
         self.grants = 0
         self.renewals = 0
         #: Hooks for the SRDI layer (an edge arriving/leaving changes
@@ -58,24 +66,35 @@ class RdvLeaseServer:
     def edges(self) -> List[PeerID]:
         """Currently leased edge peers (expired leases are purged)."""
         self._purge(self.endpoint.sim.now)
-        return list(self._leases.keys())
+        return [lease.edge_peer for lease in self._leases.values()]
 
     def has_edge(self, edge_peer: PeerID) -> bool:
-        lease = self._leases.get(edge_peer)
+        key = self.interner.lookup(edge_peer)
+        lease = None if key is None else self._leases.get(key)
         return lease is not None and lease.expires_at > self.endpoint.sim.now
 
     def edge_address(self, edge_peer: PeerID) -> Optional[str]:
-        lease = self._leases.get(edge_peer)
+        key = self.interner.lookup(edge_peer)
+        lease = None if key is None else self._leases.get(key)
         if lease is None or lease.expires_at <= self.endpoint.sim.now:
             return None
         return lease.edge_address
 
     def _purge(self, now: float) -> None:
-        dead = [pid for pid, l in self._leases.items() if l.expires_at <= now]
-        for pid in dead:
-            del self._leases[pid]
-            if self.on_edge_disconnected is not None:
-                self.on_edge_disconnected(pid)
+        heap = self._expiry_heap
+        leases = self._leases
+        while heap and heap[0][0] <= now:
+            _, key = heapq.heappop(heap)
+            lease = leases.get(key)
+            if lease is None:
+                continue  # cancelled since the record was pushed
+            if lease.expires_at <= now:
+                del leases[key]
+                if self.on_edge_disconnected is not None:
+                    self.on_edge_disconnected(lease.edge_peer)
+            else:
+                # renewed since the push: re-validate at the new expiry
+                heapq.heappush(heap, (lease.expires_at, key))
 
     # ------------------------------------------------------------------
     def _on_message(self, message: EndpointMessage) -> None:
@@ -83,12 +102,18 @@ class RdvLeaseServer:
         now = self.endpoint.sim.now
         self._purge(now)
         if isinstance(body, LeaseRequest):
-            is_new = body.edge_peer not in self._leases
-            self._leases[body.edge_peer] = EdgeLease(
+            key = self.interner.intern(body.edge_peer)
+            is_new = key not in self._leases
+            self._leases[key] = EdgeLease(
                 edge_peer=body.edge_peer,
                 edge_address=body.edge_address,
                 expires_at=now + self.config.lease_duration,
             )
+            if is_new:
+                heapq.heappush(
+                    self._expiry_heap,
+                    (now + self.config.lease_duration, key),
+                )
             # the rendezvous must be able to reach its edges directly
             self.endpoint.router.add_route(body.edge_peer, [body.edge_address])
             if body.renewal:
@@ -111,7 +136,8 @@ class RdvLeaseServer:
             if is_new and self.on_edge_connected is not None:
                 self.on_edge_connected(body.edge_peer)
         elif isinstance(body, LeaseCancel):
-            if self._leases.pop(body.peer, None) is not None:
+            key = self.interner.lookup(body.peer)
+            if key is not None and self._leases.pop(key, None) is not None:
                 if self.on_edge_disconnected is not None:
                     self.on_edge_disconnected(body.peer)
 
@@ -230,16 +256,24 @@ class EdgeLeaseClient:
         self._request_lease(renewal=False)
 
     def _schedule_renewal(self, lease_duration: float) -> None:
-        if self._renewal_handle is not None:
-            self._renewal_handle.cancel()
-        self._renewal_handle = self.endpoint.sim.schedule(
-            lease_duration * self.config.lease_renewal_fraction,
-            self._renew,
-            label="lease.renew",
-        )
+        delay = lease_duration * self.config.lease_renewal_fraction
+        handle = self._renewal_handle
+        if handle is not None and handle.fired:
+            # normal renewal cycle: the timer fired, the renewal was
+            # granted — re-arm the same handle (every grant reschedules
+            # this timer; at r = 580 that is constant churn)
+            self._renewal_handle = self.endpoint.sim.reschedule(
+                handle, delay, self._renew
+            )
+        else:
+            if handle is not None:
+                handle.cancel()
+            self._renewal_handle = self.endpoint.sim.schedule(
+                delay, self._renew, label="lease.renew"
+            )
 
     def _renew(self) -> None:
-        self._renewal_handle = None
+        # the fired handle is kept for re-arming by the next grant
         if self._connecting:
             self._request_lease(renewal=True)
 

@@ -15,17 +15,38 @@ Conventions matching the paper:
   from the size of the peerview");
 * an entry expires when it has not been refreshed for
   ``PVE_EXPIRATION`` (Algorithm 1, line 3).
+
+Representation
+--------------
+The view keys its entry map on **interned integer ids** (see
+:mod:`repro.ids.intern`) rather than :class:`PeerID` objects: at
+r = 580 the per-probe hashing of 33-byte IDs through Python-level
+``__hash__``/``__eq__`` dominated the protocol stack's profile.
+Interned keys carry no ordering meaning, so the sorted list is kept as
+``(id_bytes, key)`` tuples — tuple/bytes comparisons run in C and the
+bytes order *is* the PeerID order.  Public APIs still accept and
+return ``PeerID`` objects (mapped O(1) through the intern table);
+protocol hot paths use the ``*_key`` variants.  Expiry is a lazy
+min-heap of ``(last_refreshed_at_push, key)`` records instead of a
+full scan per sweep — the same fix the advertisement cache got for
+``purge_expired`` — with stale records (entry refreshed or removed
+since the push) dropped or re-pushed on pop.
 """
 
 from __future__ import annotations
 
 import bisect
+import heapq
 import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.advertisement.rdvadv import RdvAdvertisement
+from repro.ids.intern import IdInternTable
 from repro.ids.jxtaid import PeerID
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 @dataclass
@@ -57,14 +78,35 @@ PeerViewListener = Callable[[PeerViewEvent], None]
 class PeerView:
     """Sorted, expiring set of rendezvous advertisements."""
 
-    def __init__(self, local_adv: RdvAdvertisement) -> None:
+    def __init__(
+        self,
+        local_adv: RdvAdvertisement,
+        interner: Optional[IdInternTable] = None,
+    ) -> None:
         self.local_adv = local_adv
         self.local_peer_id = local_adv.rdv_peer_id
-        self._entries: Dict[PeerID, PeerViewEntry] = {}
-        self._sorted_ids: List[PeerID] = [self.local_peer_id]
-        #: memoised immutable snapshot of ``_sorted_ids``; rebuilt only
-        #: after a membership change (see ``ordered_ids``)
+        #: shared per-network table normally; a private one keeps
+        #: standalone views (unit tests, worked examples) working
+        self.interner = interner if interner is not None else IdInternTable()
+        self.local_key = self.interner.intern(self.local_peer_id)
+        self._entries: Dict[int, PeerViewEntry] = {}
+        #: mirror of ``_entries``'s iteration (= insertion) order; lets
+        #: the referral/random-probe samplers pick indices instead of
+        #: materialising an O(n) candidate list per draw.  Maintained by
+        #: ``upsert``/``remove_by_key``; white-box code that mutates
+        #: ``_entries`` directly must keep this in sync (same contract
+        #: as ``invalidate_ordered_view``)
+        self._key_seq: List[int] = []
+        #: members (self included) as (id_bytes, key), bytes-ascending —
+        #: the ordered list every rank/neighbour query bisects
+        self._order: List[Tuple[bytes, int]] = [
+            (self.local_peer_id._value, self.local_key)
+        ]
+        #: memoised immutable snapshot of the ordered PeerIDs; rebuilt
+        #: only after a membership change (see ``ordered_ids``)
         self._ordered_view: Optional[Tuple[PeerID, ...]] = None
+        #: lazy expiry records, (last_refreshed when pushed, key)
+        self._expiry_heap: List[Tuple[float, int]] = []
         self._listeners: List[PeerViewListener] = []
         self.adds = 0
         self.removes = 0
@@ -78,13 +120,27 @@ class PeerView:
         return len(self._entries)
 
     def __contains__(self, peer_id: PeerID) -> bool:
-        return peer_id in self._entries or peer_id == self.local_peer_id
+        key = self.interner.lookup(peer_id)
+        return key is not None and (key in self._entries or key == self.local_key)
+
+    def contains_key(self, key: int) -> bool:
+        return key in self._entries or key == self.local_key
 
     def get(self, peer_id: PeerID) -> Optional[PeerViewEntry]:
-        return self._entries.get(peer_id)
+        key = self.interner.lookup(peer_id)
+        return None if key is None else self._entries.get(key)
+
+    def get_by_key(self, key: int) -> Optional[PeerViewEntry]:
+        return self._entries.get(key)
 
     def known_ids(self) -> Iterable[PeerID]:
         """IDs of remote entries (excludes self)."""
+        id_of = self.interner.id_of
+        return [id_of(key) for key in self._entries]
+
+    def known_keys(self) -> Iterable[int]:
+        """Interned keys of remote entries (excludes self) — the hot
+        iteration: no ID objects materialised."""
         return self._entries.keys()
 
     def ordered_ids(self) -> Tuple[PeerID, ...]:
@@ -97,7 +153,10 @@ class PeerView:
         thing that invalidates it) are rare by comparison."""
         view = self._ordered_view
         if view is None:
-            view = self._ordered_view = tuple(self._sorted_ids)
+            id_of = self.interner.id_of
+            view = self._ordered_view = tuple(
+                id_of(key) for _, key in self._order
+            )
         return view
 
     # ------------------------------------------------------------------
@@ -106,8 +165,8 @@ class PeerView:
     def invalidate_ordered_view(self) -> None:
         """Drop the cached :meth:`ordered_ids` snapshot.  Mutations
         through ``upsert``/``remove`` do this automatically; anything
-        that touches ``_sorted_ids`` directly (the fault engine's
-        corruption injectors, white-box tests) must call it."""
+        that touches ``_order`` directly (the fault engine's corruption
+        injectors, white-box tests) must call it."""
         self._ordered_view = None
 
     def add_listener(self, listener: PeerViewListener) -> None:
@@ -127,17 +186,22 @@ class PeerView:
         ``"added"`` or ``"refreshed"``.
         """
         peer_id = adv.rdv_peer_id
-        if peer_id == self.local_peer_id:
+        key = self.interner.intern(peer_id)
+        if key == self.local_key:
             return "self"
-        entry = self._entries.get(peer_id)
+        entry = self._entries.get(key)
         if entry is not None:
             entry.adv = adv  # newer advertisement (route may change)
             entry.last_refreshed = now
+            # the stale expiry record re-validates against
+            # ``last_refreshed`` when popped; no heap touch here
             return "refreshed"
-        self._entries[peer_id] = PeerViewEntry(
+        self._entries[key] = PeerViewEntry(
             adv=adv, first_seen=now, last_refreshed=now
         )
-        bisect.insort(self._sorted_ids, peer_id)
+        self._key_seq.append(key)
+        bisect.insort(self._order, (peer_id._value, key))
+        _heappush(self._expiry_heap, (now, key))
         self._ordered_view = None
         self.adds += 1
         self._emit(PeerViewEvent(time=now, kind="add", subject=peer_id))
@@ -145,10 +209,20 @@ class PeerView:
 
     def remove(self, peer_id: PeerID, now: float, reason: str = "") -> bool:
         """Drop an entry (expiry, explicit failure).  True if present."""
-        if self._entries.pop(peer_id, None) is None:
+        key = self.interner.lookup(peer_id)
+        if key is None:
             return False
-        index = bisect.bisect_left(self._sorted_ids, peer_id)
-        del self._sorted_ids[index]
+        return self.remove_by_key(key, now, reason)
+
+    def remove_by_key(self, key: int, now: float, reason: str = "") -> bool:
+        if self._entries.pop(key, None) is None:
+            return False
+        self._key_seq.remove(key)
+        peer_id = self.interner.id_of(key)
+        index = bisect.bisect_left(self._order, (peer_id._value,))
+        del self._order[index]
+        # any expiry-heap record for ``key`` is now stale; it is
+        # discarded when popped (no entry behind it)
         self._ordered_view = None
         self.removes += 1
         self._emit(
@@ -158,14 +232,28 @@ class PeerView:
 
     def expire(self, now: float, pve_expiration: float) -> List[PeerID]:
         """Algorithm 1 line 3: drop entries whose age since the last
-        refresh exceeds ``pve_expiration``.  Returns the dropped IDs."""
-        dead = [
-            pid
-            for pid, entry in self._entries.items()
-            if now - entry.last_refreshed > pve_expiration
-        ]
-        for pid in dead:
-            self.remove(pid, now, reason="expired")
+        refresh exceeds ``pve_expiration``.  Returns the dropped IDs.
+
+        O(expired · log n) per sweep via the lazy min-heap instead of
+        the old scan of every entry: the heap key is the entry's
+        ``last_refreshed`` *at push time*, which only ever understates
+        the true freshness, so nothing can expire before its record
+        reaches the heap top.  A popped record is re-validated against
+        the entry's current ``last_refreshed`` and re-pushed if a
+        refresh has kept the entry alive."""
+        heap = self._expiry_heap
+        entries = self._entries
+        dead: List[PeerID] = []
+        while heap and now - heap[0][0] > pve_expiration:
+            _, key = _heappop(heap)
+            entry = entries.get(key)
+            if entry is None:
+                continue  # removed since the record was pushed
+            if now - entry.last_refreshed > pve_expiration:
+                dead.append(self.interner.id_of(key))
+                self.remove_by_key(key, now, reason="expired")
+            else:
+                _heappush(heap, (entry.last_refreshed, key))
         return dead
 
     # ------------------------------------------------------------------
@@ -173,36 +261,58 @@ class PeerView:
     # ------------------------------------------------------------------
     def rank_of(self, peer_id: PeerID) -> Optional[int]:
         """Position of ``peer_id`` in the ordered list, or None."""
-        index = bisect.bisect_left(self._sorted_ids, peer_id)
-        if index < len(self._sorted_ids) and self._sorted_ids[index] == peer_id:
+        order = self._order
+        # (value,) sorts immediately before any (value, key) pair, so
+        # bisect lands on the entry for ``value`` if it is present
+        index = bisect.bisect_left(order, (peer_id._value,))
+        if index < len(order) and order[index][0] == peer_id._value:
             return index
         return None
 
+    def rank_of_key(self, key: int) -> Optional[int]:
+        return self.rank_of(self.interner.id_of(key))
+
     def id_at(self, rank: int) -> PeerID:
         """Member ID at ``rank`` (0-based) in the ordered list."""
-        return self._sorted_ids[rank]
+        return self.interner.id_of(self._order[rank][1])
+
+    def key_at(self, rank: int) -> int:
+        """Interned key of the member at ``rank`` (hot-path variant)."""
+        return self._order[rank][1]
 
     def member_count(self) -> int:
         """Ordered-list length (self included) — the ``l`` of the
         ReplicaPeer function."""
-        return len(self._sorted_ids)
+        return len(self._order)
+
+    def local_rank(self) -> int:
+        """Our own position in the ordered list."""
+        rank = self.rank_of(self.local_peer_id)
+        assert rank is not None
+        return rank
 
     def upper_neighbor(self) -> Optional[PeerID]:
         """The rendezvous whose ID immediately follows ours, or None if
         we are the top of the sorted list."""
-        rank = self.rank_of(self.local_peer_id)
-        assert rank is not None
-        if rank + 1 < len(self._sorted_ids):
-            return self._sorted_ids[rank + 1]
+        key = self.upper_neighbor_key()
+        return None if key is None else self.interner.id_of(key)
+
+    def upper_neighbor_key(self) -> Optional[int]:
+        rank = self.local_rank()
+        if rank + 1 < len(self._order):
+            return self._order[rank + 1][1]
         return None
 
     def lower_neighbor(self) -> Optional[PeerID]:
         """The rendezvous whose ID immediately precedes ours, or None if
         we are the bottom of the sorted list."""
-        rank = self.rank_of(self.local_peer_id)
-        assert rank is not None
+        key = self.lower_neighbor_key()
+        return None if key is None else self.interner.id_of(key)
+
+    def lower_neighbor_key(self) -> Optional[int]:
+        rank = self.local_rank()
         if rank > 0:
-            return self._sorted_ids[rank - 1]
+            return self._order[rank - 1][1]
         return None
 
     def neighbor_of(self, peer_id: PeerID, direction: int) -> Optional[PeerID]:
@@ -215,8 +325,8 @@ class PeerView:
         if rank is None:
             return None
         target = rank + direction
-        if 0 <= target < len(self._sorted_ids):
-            return self._sorted_ids[target]
+        if 0 <= target < len(self._order):
+            return self.interner.id_of(self._order[target][1])
         return None
 
     # ------------------------------------------------------------------
@@ -238,16 +348,53 @@ class PeerView:
         response, excluding the probing peer and self."""
         if count <= 0:
             return []
-        excluded = set(exclude)
-        excluded.add(self.local_peer_id)
-        candidates = [pid for pid in self._entries if pid not in excluded]
-        if not candidates:
-            return []
-        picked = (
-            candidates if len(candidates) <= count
-            else rng.sample(candidates, count)
+        intern = self.interner.intern
+        entries = self._entries
+        picked = self.sample_entry_keys(
+            rng, count, [intern(pid) for pid in exclude]
         )
-        return [self._entries[pid] for pid in picked]
+        return [entries[key] for key in picked]
+
+    def sample_entry_keys(
+        self, rng: random.Random, count: int, exclude_keys: Iterable[int]
+    ) -> List[int]:
+        """Up to ``count`` distinct random entry keys, excluding
+        ``exclude_keys`` (self is never an entry, so it needs no
+        exclusion).
+
+        RNG-draw-identical to
+        ``rng.sample([k for k in entries if k not in excluded], count)``
+        without building the O(n) candidate list on every draw:
+        ``random.sample`` consumes randomness as a function of the
+        population *length* only, so sampling index positions from
+        ``range(n)`` advances the stream exactly as sampling the list
+        would, and the picked positions map through the insertion-order
+        key list (skipping the excluded slots) to the same keys."""
+        keys = self._key_seq
+        entries = self._entries
+        # ascending positions of the excluded keys actually present
+        positions = sorted(
+            keys.index(k) for k in set(exclude_keys) if k in entries
+        )
+        n = len(keys) - len(positions)
+        if n <= 0:
+            return []
+        if n <= count:
+            # want them all: no draw (matches the pre-sampling code)
+            if not positions:
+                return list(keys)
+            dropped = set(positions)
+            return [k for i, k in enumerate(keys) if i not in dropped]
+        out = []
+        for i in rng.sample(range(n), count):
+            # shift the candidate index past the excluded slots below it
+            for p in positions:
+                if i >= p:
+                    i += 1
+                else:
+                    break
+            out.append(keys[i])
+        return out
 
     # ------------------------------------------------------------------
     # Property (2)

@@ -33,7 +33,11 @@ from typing import Dict, Iterable, Optional
 
 from repro.advertisement.rdvadv import RdvAdvertisement
 from repro.config import PlatformConfig
-from repro.endpoint.service import EndpointMessage, EndpointService
+from repro.endpoint.service import (
+    MESSAGE_HEADER_BYTES,
+    EndpointMessage,
+    EndpointService,
+)
 from repro.ids.jxtaid import PeerID
 from repro.rendezvous.messages import (
     PeerViewProbe,
@@ -63,7 +67,7 @@ class PeerViewProtocol(Process):
         self.config = config
         self.local_adv = local_adv
         self.group_param = group_param
-        self.view = PeerView(local_adv)
+        self.view = PeerView(local_adv, interner=endpoint.interner)
         #: outstanding probes keyed by target transport address
         self._pending_probes: Dict[str, object] = {}
         self._seeds_contacted = False
@@ -79,6 +83,29 @@ class PeerViewProtocol(Process):
             start_jitter=config.startup_jitter,
             immediate=True,
         )
+        # named RNG streams bound once: stream seeds derive from the
+        # name alone, so eager binding draws nothing and preserves
+        # replay, while the per-iteration f-string + registry lookup
+        # disappears from the hot path
+        self._coin = self.sim.rng.stream(f"{self.name}.coin")
+        self._referral_rng = self.sim.rng.stream(f"{self.name}.referral")
+        self._randomprobe_rng = self.sim.rng.stream(f"{self.name}.randomprobe")
+        self._probe_timeout_label = f"{self.name}.probe_timeout"
+        # wire bodies wrapping local_adv are immutable once built, so
+        # one instance of each kind is shared across every send instead
+        # of allocating ~10 wrappers per peer per iteration (receivers
+        # only ever read body.rdv_adv — which is the shared local_adv
+        # object anyway)
+        self._probe_body = PeerViewProbe(local_adv, want_referral=True)
+        self._verify_probe_body = PeerViewProbe(local_adv, want_referral=False)
+        self._response_body = PeerViewResponse(local_adv)
+        self._update_body = PeerViewUpdate(local_adv)
+        self._dispatch = {
+            PeerViewProbe: self._on_probe,
+            PeerViewResponse: self._on_response,
+            PeerViewUpdate: self._on_update,
+            PeerViewReferral: self._on_referrals,
+        }
         endpoint.add_listener(PEERVIEW_SERVICE_NAME, group_param, self._on_message)
 
     # ------------------------------------------------------------------
@@ -97,11 +124,15 @@ class PeerViewProtocol(Process):
     # the periodic iteration (Algorithm 1 body)
     # ------------------------------------------------------------------
     def _iteration(self) -> None:
-        now = self.sim.now
+        now = self.sim.clock._now
         self.view.expire(now, self.config.pve_expiration)
         size = self.view.size
-        coin = self.sim.rng.stream(f"{self.name}.coin")
-        neighbors = list(self._neighbors())
+        coin = self._coin
+        # the whole iteration works on interned int keys: membership
+        # tests and sampling below hash machine ints, and PeerID
+        # objects are only materialised inside _probe_peer/_update_peer
+        # when a message is actually built
+        neighbors = self._neighbor_keys()
         for neighbor in neighbors:
             if size < self.config.happy_size:
                 self._probe_peer(neighbor)
@@ -113,13 +144,12 @@ class PeerViewProtocol(Process):
         # paper's phase-3 analysis refers to: the protocol tries to
         # cover all entries but cannot within PVE_EXPIRATION)
         if self.config.random_probe_count > 0:
-            rng = self.sim.rng.stream(f"{self.name}.randomprobe")
-            others = [
-                pid for pid in self.view.known_ids() if pid not in neighbors
-            ]
-            count = min(self.config.random_probe_count, len(others))
-            for pid in (others if count == len(others) else rng.sample(others, count)):
-                self._probe_peer(pid)
+            # draw-identical to sampling the filtered candidate list
+            # (see PeerView.sample_entry_keys) without building it
+            for key in self.view.sample_entry_keys(
+                self._randomprobe_rng, self.config.random_probe_count, neighbors
+            ):
+                self._probe_peer(key)
         # seeds are always contacted at service start (JXTA-C connects
         # to its seeding rendezvous at boot); afterwards Algorithm 1
         # re-probes them only while the view is below HAPPY_SIZE
@@ -144,14 +174,14 @@ class PeerViewProtocol(Process):
             if seed != self.endpoint.transport_address:
                 self._probe_address(seed)
 
-    def _neighbors(self) -> Iterable[PeerID]:
-        """Upper and lower rendezvous, when present (ends of the sorted
-        list have only one peer to probe)."""
+    def _neighbor_keys(self) -> Iterable[int]:
+        """Interned keys of the upper and lower rendezvous, when present
+        (ends of the sorted list have only one peer to probe)."""
         out = []
-        upper = self.view.upper_neighbor()
+        upper = self.view.upper_neighbor_key()
         if upper is not None:
             out.append(upper)
-        lower = self.view.lower_neighbor()
+        lower = self.view.lower_neighbor_key()
         if lower is not None:
             out.append(lower)
         return out
@@ -159,16 +189,12 @@ class PeerViewProtocol(Process):
     # ------------------------------------------------------------------
     # sending
     # ------------------------------------------------------------------
-    def _address_of(self, peer_id: PeerID) -> Optional[str]:
-        entry = self.view.get(peer_id)
-        if entry is None or not entry.adv.route_hint:
-            return None
-        return entry.adv.route_hint
-
-    def _probe_peer(self, peer_id: PeerID) -> None:
-        address = self._address_of(peer_id)
-        if address is not None:
-            self._probe_address(address, dst_peer=peer_id)
+    def _probe_peer(self, key: int) -> None:
+        entry = self.view.get_by_key(key)
+        if entry is not None and entry.adv.route_hint:
+            self._probe_address(
+                entry.adv.route_hint, dst_peer=entry.adv.rdv_peer_id
+            )
 
     def _probe_address(
         self,
@@ -186,12 +212,12 @@ class PeerViewProtocol(Process):
             self.config.probe_timeout,
             self._probe_timed_out,
             address,
-            label=f"{self.name}.probe_timeout",
+            label=self._probe_timeout_label,
         )
         self._pending_probes[address] = handle
         self._send(
             address, dst_peer,
-            PeerViewProbe(self.local_adv, want_referral=not verification),
+            self._verify_probe_body if verification else self._probe_body,
         )
 
     def _probe_timed_out(self, address: str) -> None:
@@ -200,63 +226,91 @@ class PeerViewProtocol(Process):
         # members.
         self._pending_probes.pop(address, None)
 
-    def _update_peer(self, peer_id: PeerID) -> None:
-        address = self._address_of(peer_id)
-        if address is None:
+    def _update_peer(self, key: int) -> None:
+        entry = self.view.get_by_key(key)
+        if entry is None or not entry.adv.route_hint:
             return
         self.updates_sent += 1
-        self._send(address, peer_id, PeerViewUpdate(self.local_adv))
+        self._send(
+            entry.adv.route_hint, entry.adv.rdv_peer_id,
+            self._update_body,
+        )
 
     def _send(self, address: str, dst_peer: Optional[PeerID], body) -> None:
-        self.endpoint.send_direct(
+        # inlined EndpointService.send_direct (kept there for every
+        # other protocol): peerview traffic dominates a full-scale run,
+        # its bodies always implement size_bytes, and its messages
+        # never arrive with origin_address pre-set — so the message is
+        # built complete (positionally: keyword calls cost measurably
+        # more) and handed straight to the network
+        endpoint = self.endpoint
+        endpoint.messages_out += 1
+        endpoint.network.send(
+            endpoint.transport_address,
             address,
             EndpointMessage(
-                src_peer=self.endpoint.peer_id,
-                dst_peer=dst_peer,
-                service_name=PEERVIEW_SERVICE_NAME,
-                service_param=self.group_param,
-                body=body,
+                endpoint.peer_id,
+                dst_peer,
+                PEERVIEW_SERVICE_NAME,
+                self.group_param,
+                body,
+                endpoint.advertised_address,
             ),
+            MESSAGE_HEADER_BYTES + body.size_bytes(),
         )
 
     # ------------------------------------------------------------------
     # receiving
     # ------------------------------------------------------------------
     def _on_message(self, message: EndpointMessage) -> None:
+        # dispatch on the exact body type (cheaper than an isinstance
+        # chain at ~10 messages per peer per iteration); subclasses of
+        # the wire dataclasses do not occur on the wire
         body = message.body
-        now = self.sim.now
-        if isinstance(body, PeerViewProbe):
-            self._learn(body.rdv_adv, now)
-            # (1) response with our own advertisement
-            reply_to = body.rdv_adv.route_hint or message.origin_address
-            self.responses_sent += 1
-            self._send(
-                reply_to, body.rdv_adv.rdv_peer_id,
-                PeerViewResponse(self.local_adv),
-            )
-            # (2) separate referral response with random other entries
-            if body.want_referral:
-                referrals = self.view.random_referrals(
-                    self.sim.rng.stream(f"{self.name}.referral"),
-                    self.config.referral_count,
-                    exclude=(body.rdv_adv.rdv_peer_id,),
-                )
-                if referrals:
-                    self.referrals_sent += 1
-                    self._send(
-                        reply_to, body.rdv_adv.rdv_peer_id,
-                        PeerViewReferral([entry.adv for entry in referrals]),
-                    )
-        elif isinstance(body, PeerViewResponse):
-            self._clear_pending(body.rdv_adv)
-            self._learn(body.rdv_adv, now)
-        elif isinstance(body, PeerViewUpdate):
-            self._learn(body.rdv_adv, now)
-        elif isinstance(body, PeerViewReferral):
-            for adv in body.rdv_advs:
-                self._on_referral(adv, now)
-        else:
+        handler = self._dispatch.get(type(body))
+        if handler is None:
             raise TypeError(f"unexpected peerview body: {type(body)!r}")
+        handler(body, message)
+
+    def _on_probe(self, body: PeerViewProbe, message: EndpointMessage) -> None:
+        now = self.sim.clock._now
+        self._learn(body.rdv_adv, now)
+        # (1) response with our own advertisement
+        reply_to = body.rdv_adv.route_hint or message.origin_address
+        self.responses_sent += 1
+        self._send(
+            reply_to, body.rdv_adv.rdv_peer_id,
+            self._response_body,
+        )
+        # (2) separate referral response with random other entries
+        if body.want_referral:
+            referrals = self.view.random_referrals(
+                self._referral_rng,
+                self.config.referral_count,
+                exclude=(body.rdv_adv.rdv_peer_id,),
+            )
+            if referrals:
+                self.referrals_sent += 1
+                self._send(
+                    reply_to, body.rdv_adv.rdv_peer_id,
+                    PeerViewReferral([entry.adv for entry in referrals]),
+                )
+
+    def _on_response(
+        self, body: PeerViewResponse, message: EndpointMessage
+    ) -> None:
+        self._clear_pending(body.rdv_adv)
+        self._learn(body.rdv_adv, self.sim.clock._now)
+
+    def _on_update(self, body: PeerViewUpdate, message: EndpointMessage) -> None:
+        self._learn(body.rdv_adv, self.sim.clock._now)
+
+    def _on_referrals(
+        self, body: PeerViewReferral, message: EndpointMessage
+    ) -> None:
+        now = self.sim.clock._now
+        for adv in body.rdv_advs:
+            self._on_referral(adv, now)
 
     def _clear_pending(self, adv: RdvAdvertisement) -> None:
         handle = self._pending_probes.pop(adv.route_hint, None)
@@ -268,13 +322,14 @@ class PeerViewProtocol(Process):
         describes* and teach ERP the direct route."""
         outcome = self.view.upsert(adv, now)
         if outcome != "self" and adv.route_hint:
-            self.endpoint.router.add_route(adv.rdv_peer_id, [adv.route_hint])
+            self.endpoint.router.add_direct_route(adv.rdv_peer_id, adv.route_hint)
 
     def _on_referral(self, adv: RdvAdvertisement, now: float) -> None:
-        peer_id = adv.rdv_peer_id
-        if peer_id == self.view.local_peer_id:
+        view = self.view
+        key = view.interner.intern(adv.rdv_peer_id)
+        if key == view.local_key:
             return
-        if peer_id in self.view:
+        if view.contains_key(key):
             # hearsay about a peer we already track: a referral is a
             # copy from the referrer's view, not proof of liveness, so
             # it does NOT refresh the entry's expiration clock — only
@@ -285,4 +340,6 @@ class PeerViewProtocol(Process):
         # unknown peer: probe before adding (§3.2); a verification
         # probe, so the cascade stops at the referred peer
         if adv.route_hint:
-            self._probe_address(adv.route_hint, dst_peer=peer_id, verification=True)
+            self._probe_address(
+                adv.route_hint, dst_peer=adv.rdv_peer_id, verification=True
+            )

@@ -2,25 +2,43 @@
 
 Design notes
 ------------
-* The event queue is a binary heap of ``(time, seq, handle)`` tuples.
-  ``seq`` is a monotonically increasing tie-breaker so that events
+* The scheduler is **two-tier**.  The *active window* is a binary heap
+  of ``(time, seq, handle, fn, args)`` tuples (``_queue``) covering the
+  next ``_WHEEL_WIDTH`` seconds of simulated time; the run loops pop
+  straight off it, so their hot paths are identical to a plain-heap
+  kernel.  Everything further out lives in a **timer wheel**: 128
+  slots of 0.5 s (64 s span) whose buckets are *unsorted* lists —
+  scheduling a protocol timer is a C-speed ``list.append`` instead of
+  an ``O(log n)`` sift through a heap holding every pending event.
+  Events beyond the wheel horizon (lease renewals, expiration sweeps)
+  wait in an overflow heap and migrate inward as the horizon advances.
+  When the active window drains, :meth:`Simulator._refill` slides the
+  window one slot forward: filter the bucket's tombstones, heapify the
+  survivors, go.  The slot width is a power of two, so slot arithmetic
+  (``int(time * 2.0)``) is float-exact and the fire order is the exact
+  global ``(time, seq)`` order — bit-for-bit the same as the pure-heap
+  scheduler (``REPRO_SCHEDULER=heap`` forces that fallback, and the
+  determinism tests compare the two byte-for-byte).
+* ``seq`` is a monotonically increasing tie-breaker so that events
   scheduled for the same instant fire in FIFO order — this makes every
   run fully deterministic for a given seed.  Tuples (rather than bare
   handles) keep the heap's sift comparisons in C: no Python
   ``__lt__`` frames on the hot path.
-* Cancellation is *lazy*: a cancelled handle stays in the heap and is
-  skipped when popped.  This keeps ``cancel()`` O(1), which matters
-  because protocol timers (lease renewals, peerview probes) are
-  rescheduled constantly at large overlay sizes.
-* Lazily-cancelled handles are *compacted* away once they dominate the
-  heap (see :meth:`Simulator._compact`): at r = 580 the renewal and
-  probe timers leave the heap mostly dead, and compaction keeps pops
-  O(log live) instead of O(log total).  Compaction rebuilds the heap
-  in place from the surviving entries; because the ``(time, seq)``
-  order is total, the fire order is bit-for-bit identical with or
-  without compaction (the determinism regression tests assert this).
+* Cancellation is *lazy*: a cancelled handle stays in its slot (wheel
+  bucket or heap) and is skipped when popped or migrated.  This keeps
+  ``cancel()`` O(1), which matters because protocol timers (lease
+  renewals, peerview probes) are rescheduled constantly at large
+  overlay sizes.  Wheel-resident tombstones die for free at the next
+  slot migration, so the cancel/reschedule churn of periodic timers
+  never accumulates; the compaction pass (:meth:`Simulator._compact`)
+  remains as the backstop for heap-resident dead (and is the primary
+  mechanism under ``REPRO_SCHEDULER=heap``).
+* Periodic timers can *re-arm* their existing handle through
+  :meth:`Simulator.reschedule` instead of allocating a fresh one per
+  tick — at r = 580 the peerview/SRDI/lease tick storm is millions of
+  avoided allocations over a paper-scale run.
 * Live-event accounting is O(1): ``pending_events`` is derived from
-  the scheduled/fired/cancelled counters instead of scanning the heap.
+  the scheduled/fired/cancelled counters instead of scanning tiers.
 * ``schedule`` and the ``run`` loop are deliberately inlined (no
   helper-call chain, handle construction without an ``__init__``
   frame, a no-hook fast path, ``__slots__`` everywhere): the
@@ -41,6 +59,7 @@ from __future__ import annotations
 
 import gc
 import heapq
+import os
 from typing import Any, Callable, Optional
 
 from repro.sim.clock import Clock, format_time
@@ -53,12 +72,26 @@ TraceHook = Callable[[float, str, "EventHandle"], None]
 #: cancelled handles are queued *and* they outnumber the live ones.
 _COMPACT_MIN_DEAD = 64
 
+#: Timer-wheel geometry.  The width is a power of two so that
+#: ``time * _INV_WIDTH`` and ``slot * _WHEEL_WIDTH`` are exact float
+#: operations: an event is always placed in, and drained from, the
+#: same slot regardless of how the window got there.
+_WHEEL_SLOTS = 128
+_WHEEL_MASK = _WHEEL_SLOTS - 1
+_WHEEL_WIDTH = 0.5
+_INV_WIDTH = 2.0  # 1 / _WHEEL_WIDTH
+_WHEEL_SPAN = _WHEEL_SLOTS * _WHEEL_WIDTH  # 64 s horizon
+
+#: Recognised scheduler implementations (``REPRO_SCHEDULER``).
+SCHEDULERS = ("wheel", "heap")
+
 #: Pending handles with no owning simulator (direct construction)
 #: carry this sentinel in ``_state`` instead of a Simulator.
 _DETACHED = object()
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
+_heapify = heapq.heapify
 _new_handle = None  # bound to EventHandle.__new__ below the class
 
 
@@ -153,28 +186,70 @@ class Simulator:
     max_events:
         Safety valve: abort if more than this many events fire in one
         ``run`` call (guards against runaway protocol loops).
+    scheduler:
+        ``"wheel"`` (timer wheel + overflow heap, the default) or
+        ``"heap"`` (single binary heap).  Defaults to the
+        ``REPRO_SCHEDULER`` environment variable when unset — the CI
+        determinism matrix runs both and asserts identical traces.
     """
 
     __slots__ = (
-        "clock", "rng", "seed", "compactions",
+        "clock", "rng", "seed", "compactions", "scheduler",
         "_queue", "_seq", "_events_fired", "_cancelled", "_dead",
+        "_use_wheel", "_wheel", "_wheel_count", "_overflow",
+        "_next_slot", "_win_end", "_wheel_limit",
         "_max_events", "_running", "_stop_requested", "_stash",
         "_in_fast_loop",
         "_trace_hooks", "_fire_hooks", "_done_hooks", "_hooks_active",
     )
 
-    def __init__(self, seed: int = 0, max_events: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        max_events: Optional[int] = None,
+        scheduler: Optional[str] = None,
+    ) -> None:
         self.clock = Clock()
         self.rng = RngRegistry(seed)
         self.seed = seed
+        if scheduler is None:
+            scheduler = os.environ.get("REPRO_SCHEDULER", "wheel")
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; known: {SCHEDULERS}"
+            )
+        self.scheduler = scheduler
+        self._use_wheel = scheduler == "wheel"
         self._queue: list[tuple[float, int, EventHandle]] = []
         #: scheduled-event count; doubles as the FIFO tie-breaker
         self._seq = 0
         self._events_fired = 0
         #: total events ever cancelled (pending_events derives from it)
         self._cancelled = 0
-        #: cancelled handles still sitting in the heap
+        #: cancelled handles still resident in any tier (active queue,
+        #: wheel bucket, overflow heap, or parked stash)
         self._dead = 0
+        if self._use_wheel:
+            #: far-tier slots; each bucket is an *unsorted* entry list
+            self._wheel: list[list] = [[] for _ in range(_WHEEL_SLOTS)]
+            #: entries (live + dead) currently in wheel buckets
+            self._wheel_count = 0
+            #: events beyond the wheel horizon, as a heap
+            self._overflow: list = []
+            #: absolute index of the next slot to migrate
+            self._next_slot = 0
+            #: active-window end: events below it heap straight into
+            #: ``_queue``; at or beyond it they go to the wheel tiers
+            self._win_end = 0.0
+            #: wheel horizon (``_win_end + _WHEEL_SPAN``)
+            self._wheel_limit = _WHEEL_SPAN
+        else:
+            self._wheel = []
+            self._wheel_count = 0
+            self._overflow = []
+            self._next_slot = 0
+            self._win_end = float("inf")
+            self._wheel_limit = float("inf")
         self._max_events = max_events
         self._running = False
         self._stop_requested = False
@@ -191,7 +266,7 @@ class Simulator:
         self._done_hooks: list[TraceHook] = []
         #: single flag the fire loop checks before touching hook lists
         self._hooks_active = False
-        #: how many times the heap was compacted (diagnostics)
+        #: how many times the tiers were compacted (diagnostics)
         self.compactions = 0
 
     # ------------------------------------------------------------------
@@ -211,8 +286,19 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of live (non-cancelled) events still queued.  O(1):
         derived from the schedule/fire/cancel counters rather than a
-        heap scan."""
+        scan of the scheduler tiers."""
         return self._seq - self._events_fired - self._cancelled
+
+    def _resident_entries(self):
+        """Every entry currently held by the scheduler, across all
+        tiers (active queue, parked stash, wheel buckets, overflow).
+        Diagnostics/test helper — never on a hot path."""
+        yield from self._queue
+        if self._stash is not None:
+            yield from self._stash
+        for bucket in self._wheel:
+            yield from bucket
+        yield from self._overflow
 
     def add_trace_hook(
         self, hook: TraceHook, phases: tuple[str, ...] = ("fire",)
@@ -280,17 +366,25 @@ class Simulator:
         self._seq = seq + 1
         # handle built without an __init__ frame: this is the single
         # most-executed allocation in a paper-scale run.  The callable,
-        # its args, ``time`` and ``seq`` all live in the heap entry —
-        # the handle itself carries only what outlives the pop: the
-        # lifecycle state and whichever of label/callable the ``label``
-        # property needs for its trace name.
+        # its args, ``time`` and ``seq`` all live in the scheduler
+        # entry — the handle itself carries only what outlives the
+        # pop: the lifecycle state and whichever of label/callable the
+        # ``label`` property needs for its trace name.
         handle = _new_handle(EventHandle)
         if label:
             handle._label = label
         else:
             handle.fn = fn
         handle._state = self
-        _heappush(self._queue, (time, seq, handle, fn, args))
+        if time < self._win_end:
+            _heappush(self._queue, (time, seq, handle, fn, args))
+        elif time < self._wheel_limit:
+            self._wheel[int(time * _INV_WIDTH) & _WHEEL_MASK].append(
+                (time, seq, handle, fn, args)
+            )
+            self._wheel_count += 1
+        else:
+            _heappush(self._overflow, (time, seq, handle, fn, args))
         return handle
 
     def schedule_at(
@@ -309,15 +403,115 @@ class Simulator:
         seq = self._seq
         self._seq = seq + 1
         handle = EventHandle(time, seq, fn, args, label, self)
-        _heappush(self._queue, (time, seq, handle, fn, args))
+        self._push_entry((time, seq, handle, fn, args))
         return handle
 
+    def reschedule(
+        self,
+        handle: EventHandle,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+    ) -> EventHandle:
+        """Re-arm a *fired* handle to run ``fn(*args)`` ``delay``
+        seconds from now, reusing the handle object (and its trace
+        label) instead of allocating a fresh one.
+
+        This is the periodic-timer fast path: a lease renewal or
+        peerview tick that re-arms itself on every firing allocates no
+        new handle.  Only fired handles are accepted: a pending one
+        would leave two live entries behind one handle, and a
+        *cancelled* one may still have a tombstoned entry resident in
+        a tier — re-arming would resurrect that entry and fire it."""
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule in the past (delay={delay})")
+        if handle._state is not False:
+            raise SchedulingError(
+                "only a fired handle can be re-armed; schedule() a new "
+                "one for pending or cancelled timers"
+            )
+        time = self.clock._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        handle._state = self
+        self._push_entry((time, seq, handle, fn, args))
+        return handle
+
+    def _push_entry(self, entry: tuple) -> None:
+        """Route one entry to the tier covering its fire time."""
+        time = entry[0]
+        if time < self._win_end:
+            _heappush(self._queue, entry)
+        elif time < self._wheel_limit:
+            self._wheel[int(time * _INV_WIDTH) & _WHEEL_MASK].append(entry)
+            self._wheel_count += 1
+        else:
+            _heappush(self._overflow, entry)
+
     # ------------------------------------------------------------------
-    # cancellation bookkeeping & heap compaction
+    # window migration (wheel -> active queue)
+    # ------------------------------------------------------------------
+    def _refill(self) -> bool:
+        """Slide the active window forward until it holds the next
+        pending events (or every tier is empty).  Returns True when
+        ``_queue`` is non-empty afterwards.
+
+        Invariants: the active queue holds exactly the entries with
+        ``time < _win_end``; wheel buckets cover
+        ``[_win_end, _wheel_limit)``; the overflow heap holds the rest.
+        Each step advances the window one slot: tombstones filtered
+        (this is where cancelled wheel timers die, with no compaction
+        pass), survivors heapified, and overflow entries whose time
+        dropped below the horizon dealt into their buckets."""
+        queue = self._queue
+        if queue:
+            return True
+        if not self._use_wheel:
+            return False
+        wheel = self._wheel
+        overflow = self._overflow
+        while not queue:
+            if self._wheel_count == 0:
+                if not overflow:
+                    return False
+                # nothing in the wheel: snap the window to the slot of
+                # the next overflow event instead of stepping through
+                # the empty gap half-second by half-second
+                slot = int(overflow[0][0] * _INV_WIDTH)
+                if slot > self._next_slot:
+                    self._next_slot = slot
+                    self._win_end = slot * _WHEEL_WIDTH
+                    self._wheel_limit = self._win_end + _WHEEL_SPAN
+            # deal newly-in-horizon overflow events into their buckets
+            limit = self._wheel_limit
+            while overflow and overflow[0][0] < limit:
+                entry = _heappop(overflow)
+                wheel[int(entry[0] * _INV_WIDTH) & _WHEEL_MASK].append(entry)
+                self._wheel_count += 1
+            # migrate the next slot into the active queue
+            bucket = wheel[self._next_slot & _WHEEL_MASK]
+            self._next_slot += 1
+            self._win_end = self._next_slot * _WHEEL_WIDTH
+            self._wheel_limit = self._win_end + _WHEEL_SPAN
+            if bucket:
+                total = len(bucket)
+                live = [e for e in bucket if e[2]._state is not None]
+                bucket.clear()
+                self._wheel_count -= total
+                self._dead -= total - len(live)
+                if live:
+                    queue[:] = live
+                    _heapify(queue)
+        return True
+
+    # ------------------------------------------------------------------
+    # cancellation bookkeeping & compaction
     # ------------------------------------------------------------------
     def _note_cancel(self) -> None:
         """Called by :meth:`EventHandle.cancel`: O(1) accounting plus a
-        periodic in-place compaction of the mostly-dead heap."""
+        periodic in-place compaction when heap-resident dead dominate
+        (under the wheel scheduler most tombstones die in slot
+        migrations long before this trips)."""
         self._cancelled += 1
         dead = self._dead + 1
         self._dead = dead
@@ -335,8 +529,10 @@ class Simulator:
             self._park()
 
     def _park(self) -> None:
-        """Move the queue contents aside so the hot loops' bare
-        ``while queue`` condition fails after the current event."""
+        """Move the active queue aside so the hot loops' bare
+        ``while queue`` condition fails after the current event.  The
+        wheel tiers are untouched: the loops never consume them
+        directly, so parking the queue alone stops the run."""
         if self._stash is None and self._queue:
             self._stash = self._queue[:]
             self._queue.clear()
@@ -349,19 +545,35 @@ class Simulator:
             queue = self._queue
             if queue:
                 queue.extend(stash)
-                heapq.heapify(queue)
+                _heapify(queue)
             else:
                 queue[:] = stash
             self._stash = None
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify *in place* (callers —
-        including a ``run`` loop in progress — hold references to the
-        queue list, so its identity must not change).  The ``(time,
-        seq)`` order is total, so extraction order is unchanged."""
+        """Drop cancelled entries from every tier and re-heapify *in
+        place* (callers — including a ``run`` loop in progress — hold
+        references to the queue list, so its identity must not
+        change).  The ``(time, seq)`` order is total, so extraction
+        order is unchanged."""
         queue = self._queue
         queue[:] = [entry for entry in queue if entry[2]._state is not None]
-        heapq.heapify(queue)
+        _heapify(queue)
+        if self._use_wheel:
+            removed = 0
+            for bucket in self._wheel:
+                if bucket:
+                    total = len(bucket)
+                    bucket[:] = [
+                        e for e in bucket if e[2]._state is not None
+                    ]
+                    removed += total - len(bucket)
+            self._wheel_count -= removed
+            overflow = self._overflow
+            overflow[:] = [
+                e for e in overflow if e[2]._state is not None
+            ]
+            _heapify(overflow)
         self._dead = 0
         self.compactions += 1
 
@@ -394,16 +606,19 @@ class Simulator:
                 hook(now, "done", handle)
 
     def step(self) -> bool:
-        """Execute the next pending event.  Returns False if queue empty."""
+        """Execute the next pending event.  Returns False if no events
+        remain in any tier."""
         queue = self._queue
-        while queue:
-            t, _, handle, fn, args = _heappop(queue)
-            if handle._state is None:
-                self._dead -= 1
-                continue
-            self._fire(t, handle, fn, args)
-            return True
-        return False
+        while True:
+            while queue:
+                t, _, handle, fn, args = _heappop(queue)
+                if handle._state is None:
+                    self._dead -= 1
+                    continue
+                self._fire(t, handle, fn, args)
+                return True
+            if not self._refill():
+                return False
 
     def run(self, until: Optional[float] = None) -> None:
         """Run events until the queue drains or simulated ``until`` is
@@ -416,9 +631,9 @@ class Simulator:
         self._stop_requested = False
         # Hot loop: an inlined copy of :meth:`_fire` with the queue,
         # clock and heappop bound to locals.  The queue list is only
-        # ever mutated in place (push/pop/compact), so the bindings
-        # stay valid across event callbacks.  ``_stop_requested`` and
-        # the hook lists are re-read every iteration because callbacks
+        # ever mutated in place (push/pop/refill/compact), so the
+        # bindings stay valid across event callbacks.  ``_stop_requested``
+        # and the hook lists are re-read every iteration because callbacks
         # may call ``stop`` or add/remove hooks mid-run.
         queue = self._queue
         clock = self.clock
@@ -440,7 +655,8 @@ class Simulator:
                 # (``stop``, ``cancel``, hook registration) *park* the
                 # queue in ``_stash``, so the loop conditions stay bare
                 # truthiness tests with no per-event flag reads; the
-                # dispatcher below then re-selects the right loop.
+                # dispatcher below then re-selects the right loop (and
+                # refills the window from the wheel when it drains).
                 while True:
                     if max_events is None and not (
                         self._hooks_active or self._dead
@@ -463,15 +679,17 @@ class Simulator:
                             # fired count reconstructed from the O(1)
                             # accounting identity instead of a per-event
                             # increment: every event ever scheduled was
-                            # fired unless cancelled or still queued
-                            # (in the queue or parked in the stash,
-                            # where ``_dead`` entries don't count as
-                            # live).  Exact at any instant, including
-                            # mid-loop exceptions.
+                            # fired unless cancelled or still resident
+                            # in a tier (active queue, parked stash,
+                            # wheel bucket or overflow heap — where
+                            # ``_dead`` entries don't count as live).
+                            # Exact at any instant, including mid-loop
+                            # exceptions.
                             stash = self._stash
                             fired = (
                                 self._seq - self._cancelled - len(queue)
                                 - (len(stash) if stash is not None else 0)
+                                - self._wheel_count - len(self._overflow)
                                 + self._dead
                             )
                     else:
@@ -497,44 +715,57 @@ class Simulator:
                                     hook(now, "done", handle)
                             else:
                                 fn(*args)
-                    if self._stash is None or self._stop_requested:
+                    if self._stop_requested:
                         return
-                    # parked for re-dispatch, not for stop: restore the
-                    # entries and go around (the dispatcher will now
-                    # pick the careful loop)
-                    self._unpark()
+                    if self._stash is not None:
+                        # parked for re-dispatch, not for stop: restore
+                        # the entries and go around (the dispatcher
+                        # will now pick the careful loop)
+                        self._unpark()
+                        continue
+                    if not self._refill():
+                        return
             # deadline variant: peek before popping so an event beyond
             # ``until`` stays queued for the next slice
-            while queue:
-                entry = queue[0]
-                handle = entry[2]
-                if handle._state is None:
+            while True:
+                while queue:
+                    entry = queue[0]
+                    handle = entry[2]
+                    if handle._state is None:
+                        pop(queue)
+                        self._dead -= 1
+                        continue
+                    t = entry[0]
+                    if t > until:
+                        break
                     pop(queue)
-                    self._dead -= 1
-                    continue
-                t = entry[0]
-                if t > until:
-                    break
-                pop(queue)
-                clock._now = t
-                handle._state = False
-                fired += 1
-                if fired > limit:
-                    raise SimulationLimitExceeded(
-                        f"exceeded max_events={max_events}"
-                    )
-                fn = entry[3]
-                args = entry[4]
-                if self._hooks_active:
-                    self._events_fired = fired
-                    for hook in self._fire_hooks:
-                        hook(t, "fire", handle)
-                    fn(*args)
-                    now = clock._now
-                    for hook in self._done_hooks:
-                        hook(now, "done", handle)
+                    clock._now = t
+                    handle._state = False
+                    fired += 1
+                    if fired > limit:
+                        raise SimulationLimitExceeded(
+                            f"exceeded max_events={max_events}"
+                        )
+                    fn = entry[3]
+                    args = entry[4]
+                    if self._hooks_active:
+                        self._events_fired = fired
+                        for hook in self._fire_hooks:
+                            hook(t, "fire", handle)
+                        fn(*args)
+                        now = clock._now
+                        for hook in self._done_hooks:
+                            hook(now, "done", handle)
+                    else:
+                        fn(*args)
                 else:
-                    fn(*args)
+                    # queue drained inside the deadline: pull the next
+                    # window in (it may hold events at or before
+                    # ``until``) and go around
+                    if self._refill():
+                        continue
+                    break
+                break  # head of queue is beyond ``until``
             if clock._now < until:
                 clock._advance_to(until)
         finally:

@@ -107,19 +107,27 @@ class PeriodicTask(Process):
         external events."""
         if not self.started:
             raise SchedulingError(f"{self.name} is not running")
-        if self._handle is not None:
-            self._handle.cancel()
-        self._handle = self.sim.schedule(
-            self.interval if delay is None else delay,
-            self._tick,
-            label=f"{self.name}.tick",
-        )
+        next_delay = self.interval if delay is None else delay
+        handle = self._handle
+        if handle is not None and handle.fired:
+            # called from inside the callback: the tick handle just
+            # fired, so it can be re-armed in place
+            self._handle = self.sim.reschedule(handle, next_delay, self._tick)
+        else:
+            # a pending (or missing) handle: cancelling leaves a
+            # tombstoned entry behind, so a fresh handle is required
+            if handle is not None:
+                handle.cancel()
+            self._handle = self.sim.schedule(
+                next_delay, self._tick, label=f"{self.name}.tick"
+            )
 
     def _tick(self) -> None:
         if not self.started:
             return
         self.ticks += 1
-        self._handle = self.sim.schedule(
-            self.interval, self._tick, label=f"{self.name}.tick"
-        )
+        # re-arm the just-fired handle (same label) instead of
+        # allocating a fresh one every period — the dominant timer
+        # churn of a paper-scale run
+        self._handle = self.sim.reschedule(self._handle, self.interval, self._tick)
         self.callback()

@@ -67,7 +67,7 @@ def test_clean_view_never_flagged(members):
 @given(members_sets.filter(lambda s: len(s) >= 2), st.integers(0, 10_000))
 def test_any_adjacent_swap_is_flagged(members, pick):
     peer = fake_rendezvous(members)
-    ids = peer.view._sorted_ids
+    ids = peer.view._order
     peer.view.invalidate_ordered_view()
     i = pick % (len(ids) - 1)
     ids[i], ids[i + 1] = ids[i + 1], ids[i]
@@ -78,7 +78,7 @@ def test_any_adjacent_swap_is_flagged(members, pick):
 @given(members_sets.filter(bool), st.integers(0, 10_000))
 def test_any_duplicate_entry_is_flagged(members, pick):
     peer = fake_rendezvous(members)
-    ids = peer.view._sorted_ids
+    ids = peer.view._order
     peer.view.invalidate_ordered_view()
     ids.insert(pick % len(ids), ids[pick % len(ids)])
     found = checker_for(peer).check_peer(peer)

@@ -309,7 +309,7 @@ class TestInvariantChecker:
         overlay.start()
         sim.run(until=5 * MINUTES)
         assert checker.check_all() == []
-        overlay.rendezvous[0].view._sorted_ids.reverse()
+        overlay.rendezvous[0].view._order.reverse()
         overlay.rendezvous[0].view.invalidate_ordered_view()
         found = checker.check_all()
         assert any(v.invariant == "peerview.total-order" for v in found)
