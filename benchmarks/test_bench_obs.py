@@ -1,0 +1,90 @@
+"""Bench: observability layer overhead.
+
+The instrumentation guard (``obs = self._net.obs; if obs is not None
+and obs.active:``) must be invisible when observability is off — the
+production default for every experiment.  ``test_disabled_overhead_
+within_two_percent`` pins that contract at <= 2% on the protocol-stack
+workload; the ``benchmark``-fixture tests record what metrics-only and
+full-tracing modes actually cost so the BENCH trajectory tracks them.
+"""
+
+import time
+
+from repro.config import PlatformConfig
+from repro.deploy import OverlayDescription, build_overlay
+from repro.network import Network
+from repro.obs import enable_observability
+from repro.sim import MINUTES, Simulator
+
+#: mirrors test_protocol_stack_throughput, shortened so the interleaved
+#: comparison can afford many rounds
+RDV_COUNT = 40
+SIM_MINUTES = 10
+
+
+def _run_stack(obs_mode):
+    """One protocol-stack run; ``obs_mode`` is ``None`` (no hub),
+    ``"disabled"`` (hub attached, ``active`` False), ``"metrics"`` or
+    ``"full"``."""
+    sim = Simulator(seed=1)
+    network = Network(sim)
+    if obs_mode == "disabled":
+        obs = enable_observability(network, metrics=True)
+        obs.disable()
+    elif obs_mode == "metrics":
+        enable_observability(network, metrics=True)
+    elif obs_mode == "full":
+        enable_observability(network, metrics=True, trace=True)
+    overlay = build_overlay(
+        sim, network, PlatformConfig(),
+        OverlayDescription(rendezvous_count=RDV_COUNT),
+    )
+    overlay.start()
+    sim.run(until=SIM_MINUTES * MINUTES)
+    return sim.events_fired
+
+
+def test_disabled_overhead_within_two_percent():
+    """An attached-but-disabled hub may cost at most 2% over no hub at
+    all.  Rounds interleave the two modes so frequency scaling and
+    cache warmth hit both equally; the min is the compared statistic
+    (least noise-polluted, same convention as the BENCH trajectory)."""
+    rounds = 7
+    base_times, disabled_times = [], []
+    _run_stack(None)  # warmup: imports, code caches
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fired_base = _run_stack(None)
+        t1 = time.perf_counter()
+        fired_disabled = _run_stack("disabled")
+        t2 = time.perf_counter()
+        base_times.append(t1 - t0)
+        disabled_times.append(t2 - t1)
+        assert fired_disabled == fired_base  # inert: same event count
+    base, disabled = min(base_times), min(disabled_times)
+    overhead = disabled / base - 1.0
+    # small absolute epsilon so a sub-millisecond base cannot turn
+    # timer jitter into a spurious relative failure
+    assert disabled <= 1.02 * base + 0.005, (
+        f"disabled-mode observability costs {overhead:.1%} "
+        f"(base {base:.4f}s, disabled {disabled:.4f}s); the guard "
+        "must stay under 2%"
+    )
+
+
+def test_protocol_stack_with_metrics(benchmark):
+    """Metrics-only mode: counters + delay histogram recording."""
+    fired = benchmark.pedantic(
+        lambda: _run_stack("metrics"), rounds=10, iterations=1,
+        warmup_rounds=1,
+    )
+    assert fired > 5_000
+
+
+def test_protocol_stack_with_full_tracing(benchmark):
+    """Metrics + timeline tracing (the `jxta-repro trace` config)."""
+    fired = benchmark.pedantic(
+        lambda: _run_stack("full"), rounds=10, iterations=1,
+        warmup_rounds=1,
+    )
+    assert fired > 5_000

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Regenerate the golden-trace fixtures under tests/fixtures/golden/.
+
+The fixtures are the canonical JSONL timelines of the scenarios in
+:mod:`repro.obs.golden`; ``tests/integration/test_golden_traces.py``
+re-runs each scenario and diffs against these files line by line.
+
+Run this ONLY after an intentional protocol change, then review the
+fixture diff like code — it is the protocol's observable behaviour::
+
+    python scripts/regen_goldens.py          # rewrite all fixtures
+    python scripts/regen_goldens.py --check  # verify without writing
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs.golden import GOLDEN_SCENARIOS, SCENARIO_FUNCTIONS  # noqa: E402
+
+FIXTURE_DIR = REPO / "tests" / "fixtures" / "golden"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed fixtures instead of writing",
+    )
+    parser.add_argument(
+        "scenarios",
+        nargs="*",
+        choices=[[], *sorted(GOLDEN_SCENARIOS)],
+        help="which scenarios to regenerate (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.scenarios or sorted(GOLDEN_SCENARIOS)
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    stale = []
+    for name in names:
+        path = FIXTURE_DIR / GOLDEN_SCENARIOS[name]
+        print(f"# {name}: running scenario ...", flush=True)
+        lines = SCENARIO_FUNCTIONS[name]()
+        text = "\n".join(lines) + "\n"
+        if args.check:
+            committed = path.read_text() if path.exists() else None
+            if committed != text:
+                stale.append(name)
+                print(f"#   STALE: {path} does not match the scenario output")
+            else:
+                print(f"#   ok: {path} ({len(lines)} events)")
+        else:
+            path.write_text(text)
+            print(f"#   wrote {path} ({len(lines)} events)")
+    if stale:
+        print(
+            "\nFixtures out of date: " + ", ".join(stale) + "\n"
+            "If the protocol change is intentional, rerun without "
+            "--check and commit the diff.",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,18 +61,30 @@ class RunnerOptions:
 
 
 def _execute(task_type: str, params: Dict[str, Any]) -> Tuple[str, Any, Dict[str, Any]]:
-    """Run one task with telemetry; exceptions become an error payload."""
+    """Run one task with telemetry; exceptions become an error payload.
+
+    Every task runs under a metrics-only observability session
+    (:mod:`repro.obs`): the merged protocol-counter snapshot rides
+    along in the telemetry and is persisted per task.  Recording is
+    passive — the snapshot is a pure function of the task params, so
+    the byte-identity guarantees are unaffected."""
     import resource
 
+    from repro.obs.runtime import ObsSession, activate, deactivate
+
     t0 = time.perf_counter()
+    obs_session = activate(ObsSession(metrics=True))
     try:
         result = run_task(task_type, params)
         status, payload = "ok", result
     except Exception:
         status, payload = "error", traceback.format_exc(limit=20)
+    finally:
+        deactivate(obs_session)
     telemetry = {
         "wall_s": time.perf_counter() - t0,
         "max_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "metrics": obs_session.merged_snapshot(),
     }
     return status, payload, telemetry
 
@@ -270,6 +282,7 @@ class CampaignRunner:
             "attempts": attempt + 1,
             "wall_s": telemetry.get("wall_s", 0.0),
             "max_rss_kb": telemetry.get("max_rss_kb", 0),
+            "metrics": telemetry.get("metrics"),
             "worker": worker,
         }
         self.store.append(record)

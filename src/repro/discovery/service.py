@@ -147,6 +147,8 @@ class DiscoveryService(QueryHandler):
             if is_rendezvous else None
         )
         self._outstanding: Dict[int, _Outstanding] = {}
+        self._net = resolver.endpoint.network
+        self._actor = resolver.endpoint.transport_address
         # stats
         self.queries_handled = 0
         self.queries_forwarded_to_publisher = 0
@@ -210,6 +212,12 @@ class DiscoveryService(QueryHandler):
         """Publish an advertisement locally; its index tuples reach the
         rendezvous at the next SRDI push (≤ ``srdi_push_interval``)."""
         self.publishes += 1
+        obs = self._net.obs
+        if obs is not None and obs.active:
+            obs.event(
+                self.sim.now, "discovery", "publish", self._actor,
+                type=adv.ADV_TYPE,
+            )
         self.cache.publish(adv, self.sim.now, lifetime, expiration)
         if self.is_rendezvous:
             # a rendezvous is its own rendezvous: index + replicate now
@@ -227,6 +235,12 @@ class DiscoveryService(QueryHandler):
         rdv = self.lease_client.rdv_peer_id
         if rdv is None:
             return
+        obs = self._net.obs
+        if obs is not None and obs.active:
+            obs.event(
+                self.sim.now, "srdi", "push", self._actor,
+                entries=len(payload.entries),
+            )
         payload.publisher_address = self.resolver.endpoint.advertised_address
         payload.publisher_peer = self.resolver.endpoint.peer_id
         self.resolver.send_srdi(rdv, DISCOVERY_HANDLER_NAME, payload)
@@ -271,6 +285,12 @@ class DiscoveryService(QueryHandler):
             label="discovery.timeout",
         )
         self._outstanding[query.query_id] = record
+        obs = self._net.obs
+        if obs is not None and obs.active:
+            obs.event(
+                self.sim.now, "discovery", "query.issued", self._actor,
+                qid=query.query_id, attr=attribute, value=value,
+            )
 
         if self.is_rendezvous:
             # a rendezvous acts as its own rendezvous (Figure 2 note)
@@ -290,6 +310,12 @@ class DiscoveryService(QueryHandler):
         if record is None or record.done:
             return
         record.done = True
+        obs = self._net.obs
+        if obs is not None and obs.active:
+            obs.event(
+                self.sim.now, "discovery", "query.timeout", self._actor,
+                qid=query_id, partial=len(record.received),
+            )
         if record.received:
             # partial results beat none: deliver what arrived
             record.callback(record.received, self.sim.now - record.sent_at)
@@ -314,7 +340,15 @@ class DiscoveryService(QueryHandler):
             if record.timeout_handle is not None:
                 record.timeout_handle.cancel()
             del self._outstanding[response.query_id]
-            record.callback(record.received, now - record.sent_at)
+            latency = now - record.sent_at
+            obs = self._net.obs
+            if obs is not None and obs.active:
+                obs.event(
+                    now, "discovery", "query.completed", self._actor,
+                    qid=response.query_id, hops=response.payload.answered_after_hops,
+                )
+                obs.observe("discovery", "query.latency", latency)
+            record.callback(record.received, latency)
 
     # ------------------------------------------------------------------
     # query handling (publisher / rendezvous side)
@@ -357,6 +391,12 @@ class DiscoveryService(QueryHandler):
         replica copy, forward each tuple to its LC-DHT replica peer
         (Figure 2 left: R1 keeps a copy and sends the tuple to R4)."""
         now = self.sim.now
+        obs = self._net.obs
+        if obs is not None and obs.active:
+            obs.event(
+                now, "srdi", "index", self._actor,
+                entries=len(payload.entries), replica=payload.replicated,
+            )
         for index_tuple, expiration in payload.entries:
             self.srdi.add(
                 index_tuple, publisher, payload.publisher_address, now, expiration
@@ -403,6 +443,12 @@ class DiscoveryService(QueryHandler):
             return
         self.queries_handled += 1
         now = self.sim.now
+        obs = self._net.obs
+        if obs is not None and obs.active:
+            obs.event(
+                now, "discovery", "query.handled", self._actor,
+                qid=query.query_id, hop=query.hop_count,
+            )
 
         # 1. local advertisement cache (every peer; this is how the
         #    publishing edge answers at the end of Figure 2's chain)
@@ -442,6 +488,11 @@ class DiscoveryService(QueryHandler):
                         record.publisher, [record.publisher_address]
                     )
                 self.queries_forwarded_to_publisher += 1
+                if obs is not None and obs.active:
+                    obs.event(
+                        now, "discovery", "forward.publisher", self._actor,
+                        qid=query.query_id,
+                    )
                 self.resolver.forward_query(record.publisher, query)
             # a complex query below its threshold keeps walking: other
             # rendezvous may index further matching publishers (the
@@ -470,6 +521,11 @@ class DiscoveryService(QueryHandler):
             else:
                 replica = self.view.interner.id_of(replica_key)
                 self.queries_forwarded_to_replica += 1
+                if obs is not None and obs.active:
+                    obs.event(
+                        now, "discovery", "forward.replica", self._actor,
+                        qid=query.query_id,
+                    )
 
                 def replica_unreachable(*_args, _r=replica):
                     # the TCP connect to the replica failed: drop it
@@ -590,6 +646,12 @@ class DiscoveryService(QueryHandler):
         the peerview and the leg retries with the next neighbour (the
         view shrinks on every retry, so this terminates)."""
         self.walk_steps += 1
+        obs = self._net.obs
+        if obs is not None and obs.active:
+            obs.event(
+                self.sim.now, "discovery", "walk.hop", self._actor,
+                qid=query.query_id, direction=direction,
+            )
 
         def target_unreachable(*_args, _t=target):
             self.view.remove(_t, self.sim.now, reason="unreachable")

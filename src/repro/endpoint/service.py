@@ -109,6 +109,7 @@ class EndpointService:
         self.messages_out = 0
         self.messages_relayed = 0
         self._attached = False
+        self._net = network
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -211,6 +212,12 @@ class EndpointService:
             if self.router is None or message.ttl <= 0:
                 return
             self.messages_relayed += 1
+            obs = self._net.obs
+            if obs is not None and obs.active:
+                obs.event(
+                    self.sim.clock._now, "endpoint", "relay",
+                    self.transport_address, service=message.service_name,
+                )
             self.router.route_and_send(message.forwarded())
             return
         listener = self._listeners.get(

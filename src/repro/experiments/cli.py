@@ -11,6 +11,10 @@ campaign aggregator.
 ``jxta-repro sweep <campaign>`` hands over to the parallel, resumable
 campaign orchestrator (:mod:`repro.campaign`) — see
 ``jxta-repro sweep --list`` and docs/CAMPAIGNS.md.
+
+``jxta-repro trace <target>`` runs a target under the observability
+layer (:mod:`repro.obs`) and exports a Perfetto-loadable timeline plus
+a metrics snapshot — see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -58,6 +62,11 @@ def main(argv=None) -> int:
         from repro.campaign.cli import main as sweep_main
 
         return sweep_main(argv[1:])
+    if argv and argv[0] == "trace":
+        # observability front end (same lazy-import reasoning)
+        from repro.obs.cli import trace_main
+
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="jxta-repro",
         description=(
@@ -96,6 +105,18 @@ def main(argv=None) -> int:
         help="also write raw result data (CSV/JSON) under DIR",
     )
     parser.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help=(
+            "record protocol metrics (repro.obs) during the run and "
+            "write the merged snapshot as JSON to FILE (for 'all', one "
+            "file per experiment with the name suffixed); a summary "
+            "table is printed after each experiment"
+        ),
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help=(
@@ -129,10 +150,23 @@ def main(argv=None) -> int:
     for name in names:
         if args.experiment == "all":
             print(f"\n{'=' * 70}\n{name}\n{'=' * 70}")
-        if args.profile:
-            results = _run_profiled(name, args)
-        else:
-            results = EXPERIMENTS[name](full=args.full, seed=args.seed)
+        obs_session = None
+        if args.metrics_out is not None:
+            from repro.obs.runtime import ObsSession, activate
+
+            obs_session = activate(ObsSession(metrics=True))
+        try:
+            if args.profile:
+                results = _run_profiled(name, args)
+            else:
+                results = EXPERIMENTS[name](full=args.full, seed=args.seed)
+        finally:
+            if obs_session is not None:
+                from repro.obs.runtime import deactivate
+
+                deactivate(obs_session)
+        if obs_session is not None:
+            _write_metrics_snapshot(name, obs_session, args, many=len(names) > 1)
         if args.out is not None:
             from pathlib import Path
 
@@ -143,6 +177,24 @@ def main(argv=None) -> int:
         if args.seeds > 1:
             _run_seed_spread(name, results, args)
     return 0
+
+
+def _write_metrics_snapshot(name: str, obs_session, args, many: bool) -> None:
+    """Export one experiment's merged metrics snapshot (--metrics-out)."""
+    from pathlib import Path
+
+    from repro.metrics.export import metrics_snapshot_to_json
+    from repro.metrics.report import render_metrics
+
+    path = Path(args.metrics_out)
+    if many:
+        path = path.with_name(f"{path.stem}-{name}{path.suffix or '.json'}")
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    snapshot = obs_session.merged_snapshot()
+    metrics_snapshot_to_json(snapshot, path)
+    print(f"\n# wrote {path}")
+    print(render_metrics(snapshot))
 
 
 def _run_seed_spread(name: str, first_results, args) -> None:

@@ -19,7 +19,7 @@ from repro.metrics.series import (
     sample_at,
     value_series,
 )
-from repro.metrics.report import render_series, render_table
+from repro.metrics.report import render_metrics, render_series, render_table
 
 __all__ = [
     "EventLog",
@@ -30,6 +30,7 @@ __all__ = [
     "elementwise_mean_std",
     "latency_stats",
     "peerview_size_series",
+    "render_metrics",
     "render_series",
     "render_table",
     "sample_at",

@@ -66,6 +66,35 @@ def series_to_csv(
     return len(xs)
 
 
+def metrics_snapshot_to_json(snapshot: Dict, path: PathLike) -> None:
+    """Write a :meth:`repro.obs.MetricsRegistry.snapshot` as JSON.
+
+    Snapshots are already sorted; dumping with ``sort_keys`` keeps the
+    artefact byte-stable across runs, so metric exports can be diffed
+    (and the campaign store stays deterministic)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def metrics_snapshot_from_json(path: PathLike) -> Dict:
+    """Read a snapshot written by :func:`metrics_snapshot_to_json`."""
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def metrics_counters_to_csv(snapshot: Dict, path: PathLike) -> int:
+    """Write a snapshot's counters as CSV (metric, count).  Returns the
+    number of rows written."""
+    counters = snapshot.get("counters", {})
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["metric", "count"])
+        for name, count in sorted(counters.items()):
+            writer.writerow([name, count])
+    return len(counters)
+
+
 def step_series_to_json(series: StepSeries, path: PathLike) -> None:
     """Write a step series as JSON (``{"times": [...], "values": [...]}``)."""
     with open(path, "w") as fh:

@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.ids.intern import IdInternTable
 from repro.network.latency import Grid5000Latency, LatencyModel
+from repro.obs import runtime as _obs_runtime
 from repro.network.message import Envelope
 from repro.network.site import Node
 from repro.network.stats import TrafficStats
@@ -164,6 +165,12 @@ class Network:
         else:
             self._g5k = None
             self._g5k_base = None
+        #: Optional observability hub (``repro.obs``).  ``None`` by
+        #: default; an active ObsSession adopts the network here so
+        #: experiments and campaign tasks need no explicit plumbing.
+        self.obs = None
+        if _obs_runtime._stack:
+            _obs_runtime._stack[-1].adopt(self)
 
     # ------------------------------------------------------------------
     # attachment
@@ -333,6 +340,11 @@ class Network:
                 and self._loss_rng.random() < self.loss_rate
             )
         )
+        obs = self.obs
+        if obs is not None and obs.active:
+            obs.on_network_send(
+                now, site_pair, src, dst, payload, size_bytes, delay, lost
+            )
         if lost:
             self.stats.record_drop()
             if decision.drop:

@@ -1,0 +1,41 @@
+"""Unified observability: metrics registry + timeline tracing.
+
+The paper's scalability claims are statements about message flows and
+timer behaviour over time.  ``repro.obs`` makes them inspectable:
+
+* :class:`MetricsRegistry` — per-:class:`~repro.network.Network`
+  counters, gauges and fixed-bucket latency histograms keyed by
+  ``(protocol, event)``, O(1) on the hot path.
+* :class:`TimelineTracer` — a bounded ring-buffer event recorder fed
+  from kernel trace hooks and protocol instrumentation points,
+  exporting JSONL and Chrome ``trace_event`` JSON (Perfetto-loadable).
+* :class:`Observability` — the per-network hub the instrumentation
+  guards check (``if obs is not None and obs.active``).
+* :class:`ObsSession` / :func:`activate` — a process-wide session that
+  adopts every newly constructed Network, so experiments and campaign
+  tasks need no plumbing to become observable.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalogue, the trace
+schema, and the golden-fixture policy.
+"""
+
+from repro.obs.core import Observability, enable_observability
+from repro.obs.histogram import DEFAULT_LATENCY_EDGES_S, Histogram
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runtime import ObsSession, activate, current, deactivate, session
+from repro.obs.tracer import TimelineTracer, TraceEvent
+
+__all__ = [
+    "DEFAULT_LATENCY_EDGES_S",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "ObsSession",
+    "TimelineTracer",
+    "TraceEvent",
+    "activate",
+    "current",
+    "deactivate",
+    "enable_observability",
+    "session",
+]

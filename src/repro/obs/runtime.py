@@ -1,0 +1,101 @@
+"""Process-wide observability sessions.
+
+Experiments construct their :class:`~repro.network.Network` objects
+deep inside helper functions (``run_peerview_overlay`` et al.), so the
+CLI cannot hand an observability hub down the call chain.  Instead an
+:class:`ObsSession` is *activated* for the process: every Network
+constructed while it is active adopts a fresh hub, and the session
+collects them all for export afterwards.
+
+This module is imported by ``repro.network.transport`` at module load,
+so it must not import anything from ``repro`` at the top level (the
+hub classes are imported lazily inside :meth:`ObsSession.adopt`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import List, Optional
+
+#: Innermost active session, if any (a stack so sessions can nest;
+#: only the top adopts new networks).
+_stack: List["ObsSession"] = []
+
+
+class ObsSession:
+    """Configuration + collected hubs for one observed run."""
+
+    def __init__(
+        self,
+        metrics: bool = True,
+        trace: bool = False,
+        trace_kernel: bool = False,
+        trace_capacity: Optional[int] = None,
+        categories=None,
+    ) -> None:
+        self.metrics = metrics
+        self.trace = trace
+        self.trace_kernel = trace_kernel
+        self.trace_capacity = trace_capacity
+        self.categories = categories
+        self.hubs: List[object] = []
+
+    # ------------------------------------------------------------------
+    def adopt(self, network) -> None:
+        """Attach a fresh hub to a newly constructed network."""
+        from repro.obs.core import enable_observability
+
+        self.hubs.append(
+            enable_observability(
+                network,
+                metrics=self.metrics,
+                trace=self.trace,
+                trace_kernel=self.trace_kernel,
+                trace_capacity=self.trace_capacity,
+                categories=self.categories,
+            )
+        )
+
+    def merged_metrics(self):
+        """One :class:`MetricsRegistry` folding every adopted network."""
+        from repro.obs.registry import MetricsRegistry
+
+        return MetricsRegistry.merged(
+            hub.metrics for hub in self.hubs if hub.metrics is not None
+        )
+
+    def merged_snapshot(self) -> dict:
+        return self.merged_metrics().snapshot()
+
+    def tracers(self) -> list:
+        return [hub.tracer for hub in self.hubs if hub.tracer is not None]
+
+
+# ----------------------------------------------------------------------
+def activate(session: ObsSession) -> ObsSession:
+    """Push ``session``: Networks constructed from now on adopt hubs."""
+    _stack.append(session)
+    return session
+
+
+def deactivate(session: Optional[ObsSession] = None) -> None:
+    """Pop the innermost session (which must be ``session`` if given)."""
+    if not _stack:
+        raise RuntimeError("no active observability session")
+    if session is not None and _stack[-1] is not session:
+        raise RuntimeError("deactivate() out of order: not the innermost session")
+    _stack.pop()
+
+
+def current() -> Optional[ObsSession]:
+    return _stack[-1] if _stack else None
+
+
+@contextmanager
+def session(**kwargs):
+    """``with session(metrics=True, trace=True) as s: ...``"""
+    s = activate(ObsSession(**kwargs))
+    try:
+        yield s
+    finally:
+        deactivate(s)

@@ -1,0 +1,165 @@
+"""Timeline tracer: a bounded ring buffer of protocol/kernel events.
+
+Events carry ``(t, cat, name, actor, args)`` where ``cat`` is the
+protocol layer ("peerview", "lease", "resolver", "discovery", "srdi",
+"endpoint", or "kernel" for scheduler fires) and ``actor`` the
+transport address of the peer that recorded it.  The buffer is a
+``deque(maxlen=...)``: a full-scale r=580 run keeps the *tail* of the
+timeline and counts what it dropped, so tracing can stay on without
+unbounded memory.
+
+Two exports:
+
+* JSONL — one sorted-key JSON object per line; the canonical form the
+  golden-trace fixtures pin (see ``tests/fixtures/golden/``).
+* Chrome ``trace_event`` JSON — instant events on one track per actor,
+  loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Iterable, List, Optional
+
+DEFAULT_CAPACITY = 500_000
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded timeline event."""
+
+    t: float
+    cat: str
+    name: str
+    actor: str = ""
+    args: Optional[Dict[str, Any]] = None
+
+    def to_json(self) -> str:
+        payload: Dict[str, Any] = {
+            "actor": self.actor,
+            "cat": self.cat,
+            "name": self.name,
+            "t": self.t,
+        }
+        if self.args:
+            payload["args"] = self.args
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class TimelineTracer:
+    """Bounded ring-buffer recorder for timeline events."""
+
+    __slots__ = ("capacity", "categories", "events", "dropped")
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        categories: Optional[Iterable[str]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1 (got {capacity})")
+        self.capacity = capacity
+        self.categories = frozenset(categories) if categories else None
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    # -------------------------------------------------------- hot path
+    def record(
+        self,
+        t: float,
+        cat: str,
+        name: str,
+        actor: str = "",
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if self.categories is not None and cat not in self.categories:
+            return
+        events = self.events
+        if len(events) == self.capacity:
+            self.dropped += 1
+        events.append(TraceEvent(t, cat, name, actor, args))
+
+    def on_kernel_event(self, now: float, phase: str, handle) -> None:
+        """Feed for :meth:`repro.sim.kernel.Simulator.add_trace_hook`."""
+        self.record(now, "kernel", handle.label)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def to_jsonl_lines(self) -> List[str]:
+        return [e.to_json() for e in self.events]
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in self.to_jsonl_lines():
+                fh.write(line + "\n")
+
+    # ------------------------------------------------------------------
+    def chrome_trace_events(
+        self, pid: int = 1, actor_tids: Optional[Dict[str, int]] = None
+    ) -> List[Dict[str, Any]]:
+        """Chrome ``trace_event`` dicts (instant events, one tid/actor)."""
+        if actor_tids is None:
+            actor_tids = {}
+        out: List[Dict[str, Any]] = []
+        for e in self.events:
+            tid = actor_tids.get(e.actor)
+            if tid is None:
+                tid = actor_tids[e.actor] = len(actor_tids) + 1
+            ev: Dict[str, Any] = {
+                "name": e.name,
+                "cat": e.cat,
+                "ph": "i",
+                "s": "t",
+                "ts": round(e.t * 1_000_000),  # trace_event wants microseconds
+                "pid": pid,
+                "tid": tid,
+            }
+            if e.args:
+                ev["args"] = e.args
+            out.append(ev)
+        # thread_name metadata rows give each actor a labelled track
+        for actor, tid in sorted(actor_tids.items(), key=lambda kv: kv[1]):
+            out.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": actor or "(kernel)"},
+                }
+            )
+        return out
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        return {
+            "displayTimeUnit": "ms",
+            "traceEvents": self.chrome_trace_events(),
+        }
+
+    def write_chrome_trace(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome_trace(), fh)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TimelineTracer(events={len(self.events)}, dropped={self.dropped})"
+
+
+def merged_chrome_trace(tracers: Iterable[TimelineTracer]) -> Dict[str, Any]:
+    """One Chrome trace from many tracers (one pid per tracer/network)."""
+    events: List[Dict[str, Any]] = []
+    for pid, tracer in enumerate(tracers, start=1):
+        events.extend(tracer.chrome_trace_events(pid=pid))
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"network-{pid}"},
+            }
+        )
+    return {"displayTimeUnit": "ms", "traceEvents": events}

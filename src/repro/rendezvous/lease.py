@@ -55,6 +55,8 @@ class RdvLeaseServer:
         self._expiry_heap: List[Tuple[float, int]] = []
         self.grants = 0
         self.renewals = 0
+        self._net = endpoint.network
+        self._actor = endpoint.transport_address
         #: Hooks for the SRDI layer (an edge arriving/leaving changes
         #: which attribute tables this rendezvous is responsible for).
         self.on_edge_connected: Optional[Callable[[PeerID], None]] = None
@@ -90,6 +92,12 @@ class RdvLeaseServer:
                 continue  # cancelled since the record was pushed
             if lease.expires_at <= now:
                 del leases[key]
+                obs = self._net.obs
+                if obs is not None and obs.active:
+                    obs.event(
+                        now, "lease", "expire", self._actor,
+                        edge=lease.edge_address,
+                    )
                 if self.on_edge_disconnected is not None:
                     self.on_edge_disconnected(lease.edge_peer)
             else:
@@ -120,6 +128,12 @@ class RdvLeaseServer:
                 self.renewals += 1
             else:
                 self.grants += 1
+            obs = self._net.obs
+            if obs is not None and obs.active:
+                obs.event(
+                    now, "lease", "renew" if body.renewal else "grant",
+                    self._actor, edge=body.edge_address,
+                )
             self.endpoint.send_direct(
                 body.edge_address,
                 EndpointMessage(
@@ -138,6 +152,12 @@ class RdvLeaseServer:
         elif isinstance(body, LeaseCancel):
             key = self.interner.lookup(body.peer)
             if key is not None and self._leases.pop(key, None) is not None:
+                obs = self._net.obs
+                if obs is not None and obs.active:
+                    obs.event(
+                        now, "lease", "cancel", self._actor,
+                        peer=body.peer.short(),
+                    )
                 if self.on_edge_disconnected is not None:
                     self.on_edge_disconnected(body.peer)
 
@@ -166,6 +186,8 @@ class EdgeLeaseClient:
         #: "whenever they connect to a new rendezvous peer", §3.3).
         self.on_connected: Optional[Callable[[RdvAdvertisement], None]] = None
         self.on_disconnected: Optional[Callable[[], None]] = None
+        self._net = endpoint.network
+        self._actor = endpoint.transport_address
         endpoint.add_listener(LEASE_SERVICE_NAME, group_param, self._on_message)
 
     # ------------------------------------------------------------------
@@ -226,6 +248,13 @@ class EdgeLeaseClient:
     def _request_lease(self, renewal: bool) -> None:
         self.connect_attempts += 1
         target = self._current_target()
+        obs = self._net.obs
+        if obs is not None and obs.active:
+            obs.event(
+                self.endpoint.sim.now, "lease",
+                "request.renew" if renewal else "request.connect",
+                self._actor, rdv=target,
+            )
         self.endpoint.send_direct(
             target,
             self._message(
@@ -246,6 +275,9 @@ class EdgeLeaseClient:
     def _request_timed_out(self) -> None:
         # rendezvous is unreachable: fail over to the next seed
         self._request_timeout_handle = None
+        obs = self._net.obs
+        if obs is not None and obs.active:
+            obs.event(self.endpoint.sim.now, "lease", "failover", self._actor)
         was_connected = self.rdv_adv is not None
         if was_connected:
             self.rdv_adv = None

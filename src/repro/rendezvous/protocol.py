@@ -106,6 +106,12 @@ class PeerViewProtocol(Process):
             PeerViewUpdate: self._on_update,
             PeerViewReferral: self._on_referrals,
         }
+        # observability (repro.obs): the network hub and this peer's
+        # actor label, read once; view membership changes are observed
+        # through a listener so upsert/expire stay obs-agnostic
+        self._net = endpoint.network
+        self._actor = endpoint.transport_address
+        self.view.add_listener(self._on_view_change)
         endpoint.add_listener(PEERVIEW_SERVICE_NAME, group_param, self._on_message)
 
     # ------------------------------------------------------------------
@@ -208,6 +214,12 @@ class PeerViewProtocol(Process):
         if address in self._pending_probes:
             return
         self.probes_sent += 1
+        obs = self._net.obs
+        if obs is not None and obs.active:
+            obs.event(
+                self.sim.clock._now, "peerview", "probe.sent", self._actor,
+                dst=address, verify=verification,
+            )
         handle = self.sim.schedule(
             self.config.probe_timeout,
             self._probe_timed_out,
@@ -231,6 +243,12 @@ class PeerViewProtocol(Process):
         if entry is None or not entry.adv.route_hint:
             return
         self.updates_sent += 1
+        obs = self._net.obs
+        if obs is not None and obs.active:
+            obs.event(
+                self.sim.clock._now, "peerview", "update.sent", self._actor,
+                dst=entry.adv.route_hint,
+            )
         self._send(
             entry.adv.route_hint, entry.adv.rdv_peer_id,
             self._update_body,
@@ -278,6 +296,10 @@ class PeerViewProtocol(Process):
         # (1) response with our own advertisement
         reply_to = body.rdv_adv.route_hint or message.origin_address
         self.responses_sent += 1
+        obs = self._net.obs
+        if obs is not None and obs.active:
+            obs.event(now, "peerview", "probe.recv", self._actor, src=reply_to)
+            obs.event(now, "peerview", "response.sent", self._actor, dst=reply_to)
         self._send(
             reply_to, body.rdv_adv.rdv_peer_id,
             self._response_body,
@@ -291,6 +313,11 @@ class PeerViewProtocol(Process):
             )
             if referrals:
                 self.referrals_sent += 1
+                if obs is not None and obs.active:
+                    obs.event(
+                        now, "peerview", "referral.sent", self._actor,
+                        dst=reply_to, count=len(referrals),
+                    )
                 self._send(
                     reply_to, body.rdv_adv.rdv_peer_id,
                     PeerViewReferral([entry.adv for entry in referrals]),
@@ -300,7 +327,14 @@ class PeerViewProtocol(Process):
         self, body: PeerViewResponse, message: EndpointMessage
     ) -> None:
         self._clear_pending(body.rdv_adv)
-        self._learn(body.rdv_adv, self.sim.clock._now)
+        now = self.sim.clock._now
+        obs = self._net.obs
+        if obs is not None and obs.active:
+            obs.event(
+                now, "peerview", "response.recv", self._actor,
+                src=body.rdv_adv.route_hint,
+            )
+        self._learn(body.rdv_adv, now)
 
     def _on_update(self, body: PeerViewUpdate, message: EndpointMessage) -> None:
         self._learn(body.rdv_adv, self.sim.clock._now)
@@ -309,8 +343,25 @@ class PeerViewProtocol(Process):
         self, body: PeerViewReferral, message: EndpointMessage
     ) -> None:
         now = self.sim.clock._now
+        obs = self._net.obs
+        if obs is not None and obs.active:
+            obs.event(
+                now, "peerview", "referral.recv", self._actor,
+                count=len(body.rdv_advs),
+            )
         for adv in body.rdv_advs:
             self._on_referral(adv, now)
+
+    def _on_view_change(self, event) -> None:
+        """PeerView listener: surface membership changes to repro.obs."""
+        obs = self._net.obs
+        if obs is not None and obs.active:
+            args = {"peer": event.subject.short()}
+            if event.reason:
+                args["reason"] = event.reason
+            obs.event(
+                event.time, "peerview", f"view.{event.kind}", self._actor, **args
+            )
 
     def _clear_pending(self, adv: RdvAdvertisement) -> None:
         handle = self._pending_probes.pop(adv.route_hint, None)

@@ -58,6 +58,8 @@ class ResolverService:
         self.queries_sent = 0
         self.responses_sent = 0
         self.srdi_sent = 0
+        self._net = endpoint.network
+        self._actor = endpoint.transport_address
         endpoint.add_listener(
             RESOLVER_SERVICE_NAME, group_param, self._on_message
         )
@@ -94,6 +96,13 @@ class ResolverService:
         """Send ``query`` to ``dst_peer``, or propagate through the
         group when ``dst_peer`` is None (JXTA's null-destination mode)."""
         self.queries_sent += 1
+        obs = self._net.obs
+        if obs is not None and obs.active:
+            obs.event(
+                self.endpoint.sim.now, "resolver", "query.sent", self._actor,
+                handler=query.handler_name, qid=query.query_id,
+                propagate=dst_peer is None,
+            )
         if dst_peer is None:
             if self.propagator is None:
                 raise RuntimeError(
@@ -115,12 +124,25 @@ class ResolverService:
         origin metadata is preserved.  ``on_drop`` fires if the
         destination is unreachable (the sender sees the TCP connect
         failure)."""
+        obs = self._net.obs
+        if obs is not None and obs.active:
+            obs.event(
+                self.endpoint.sim.now, "resolver", "query.forwarded",
+                self._actor, handler=query.handler_name, qid=query.query_id,
+                hop=query.hop_count + 1,
+            )
         self._send_body(dst_peer, query.hopped(), on_drop=on_drop)
 
     def send_response(self, query: ResolverQuery, payload: Any) -> None:
         """Respond to ``query``; routed directly to the query source
         using its embedded source route."""
         self.responses_sent += 1
+        obs = self._net.obs
+        if obs is not None and obs.active:
+            obs.event(
+                self.endpoint.sim.now, "resolver", "response.sent",
+                self._actor, handler=query.handler_name, qid=query.query_id,
+            )
         response = ResolverResponse(
             handler_name=query.handler_name,
             query_id=query.query_id,
@@ -133,6 +155,12 @@ class ResolverService:
     def send_srdi(self, dst_peer: PeerID, handler_name: str, payload: Any) -> None:
         """Push an SRDI message to a specific peer."""
         self.srdi_sent += 1
+        obs = self._net.obs
+        if obs is not None and obs.active:
+            obs.event(
+                self.endpoint.sim.now, "resolver", "srdi.sent", self._actor,
+                handler=handler_name,
+            )
         self._send_body(
             dst_peer,
             ResolverSrdiMessage(

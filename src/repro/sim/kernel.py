@@ -314,8 +314,9 @@ class Simulator:
         Registrations are deduplicated per callable: adding a hook that
         is already registered *merges* the phase sets instead of
         appending a second entry, so each hook observes every phase at
-        most once per event and :meth:`remove_trace_hook` always
-        removes the whole registration."""
+        most once per event.  :meth:`remove_trace_hook` drops the whole
+        registration by default, or just the named phases when given
+        ``phases=``."""
         valid = {"fire", "done"}
         unknown = set(phases) - valid
         if unknown:
@@ -329,14 +330,36 @@ class Simulator:
             self._trace_hooks.append((hook, merged))
         self._rebuild_hook_lists()
 
-    def remove_trace_hook(self, hook: TraceHook) -> None:
+    def remove_trace_hook(
+        self, hook: TraceHook, phases: Optional[tuple[str, ...]] = None
+    ) -> None:
         """Unregister a hook previously added (idempotent).  Compared
-        by equality, so passing the same bound method works.  Removes
-        the callable's whole registration (every phase) — duplicate
-        registrations cannot accumulate, see :meth:`add_trace_hook`."""
-        self._trace_hooks = [
-            (h, p) for h, p in self._trace_hooks if not (h == hook)
-        ]
+        by equality, so passing the same bound method works.
+
+        With ``phases=None`` (the default) the callable's whole
+        registration is removed — duplicate registrations cannot
+        accumulate, see :meth:`add_trace_hook`.  With an explicit
+        ``phases=`` only those phases are dropped from a (possibly
+        phase-merged) registration; the registration survives with its
+        remaining phases, and disappears once the set empties."""
+        if phases is None:
+            self._trace_hooks = [
+                (h, p) for h, p in self._trace_hooks if not (h == hook)
+            ]
+        else:
+            valid = {"fire", "done"}
+            unknown = set(phases) - valid
+            if unknown:
+                raise ValueError(f"unknown trace phases: {sorted(unknown)}")
+            dropped = frozenset(phases)
+            kept = []
+            for h, p in self._trace_hooks:
+                if h == hook:
+                    p = p - dropped
+                    if not p:
+                        continue
+                kept.append((h, p))
+            self._trace_hooks = kept
         self._rebuild_hook_lists()
 
     def _rebuild_hook_lists(self) -> None:

@@ -217,9 +217,12 @@ class TestStoreRecordShape:
         record = next(iter(store.completed().values()))
         assert set(record) == {
             "key", "task", "params", "status", "result", "error",
-            "attempts", "wall_s", "max_rss_kb", "worker",
+            "attempts", "wall_s", "max_rss_kb", "metrics", "worker",
         }
         assert record["error"] is None
+        # the per-task observability snapshot is always present (empty
+        # for tasks that never touch a Network, like square())
+        assert set(record["metrics"]) == {"counters", "gauges", "histograms"}
         assert record["wall_s"] >= 0
         line = store.tasks_path.read_text().splitlines()[0]
         assert json.loads(line) == store.records()[0]

@@ -1,0 +1,150 @@
+"""Property-based tests: observability histogram/registry invariants.
+
+The campaign aggregator merges per-worker metric snapshots, so merge
+must behave like multiset union of the underlying observations:
+commutative, associative, count/total-conserving, and quantile bounds
+must always bracket the true value by construction.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs import DEFAULT_LATENCY_EDGES_S, Histogram, MetricsRegistry
+
+values = st.floats(
+    min_value=0.0, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+samples = st.lists(values, min_size=0, max_size=80)
+
+# a small, shared edge vector keeps overflow interesting
+EDGES = (0.5, 2.0, 8.0, 32.0)
+
+
+def _hist(data, edges=EDGES):
+    h = Histogram(edges=edges)
+    for v in data:
+        h.observe(v)
+    return h
+
+
+@given(samples)
+def test_observations_conserved(data):
+    h = _hist(data)
+    assert h.count == len(data)
+    assert sum(h.counts) + h.overflow == len(data)
+    assert h.total == pytest.approx(sum(data), rel=1e-9, abs=1e-9)
+    if data:
+        assert h.min == min(data)
+        assert h.max == max(data)
+
+
+@given(samples, samples)
+def test_merge_commutative(a, b):
+    ab = Histogram.merged([_hist(a), _hist(b)])
+    ba = Histogram.merged([_hist(b), _hist(a)])
+    assert ab.snapshot() == ba.snapshot()
+
+
+def _approx_sum(snap):
+    """Split a snapshot into its exact part and the float total —
+    merge reassociates additions, so ``sum`` is only approximately
+    order-independent."""
+    rest = {k: v for k, v in snap.items() if k != "sum"}
+    return rest, snap["sum"]
+
+
+@given(samples, samples, samples)
+def test_merge_associative_and_equals_pooled(a, b, c):
+    left = _hist(a)
+    left.merge(_hist(b))
+    left.merge(_hist(c))
+    right = _hist(b)
+    right.merge(_hist(c))
+    first = _hist(a)
+    first.merge(right)
+    pooled = _hist(a + b + c)
+    exact_l, sum_l = _approx_sum(left.snapshot())
+    exact_f, sum_f = _approx_sum(first.snapshot())
+    exact_p, sum_p = _approx_sum(pooled.snapshot())
+    assert exact_l == exact_f == exact_p
+    assert sum_l == pytest.approx(sum_f, rel=1e-9, abs=1e-9)
+    assert sum_l == pytest.approx(sum_p, rel=1e-9, abs=1e-9)
+
+
+@given(samples, st.floats(min_value=0.0, max_value=1.0))
+def test_quantile_bounds_bracket_true_quantile(data, q):
+    h = _hist(data)
+    if not data:
+        with pytest.raises(ValueError):
+            h.quantile_bounds(q)
+        return
+    lo, hi = h.quantile_bounds(q)
+    assert lo <= hi
+    assert h.min <= lo and hi <= h.max
+    # the true order statistic at rank ceil(q*n) lies in [lo, hi]
+    import math
+
+    rank = max(1, math.ceil(q * len(data)))
+    true_value = sorted(data)[rank - 1]
+    assert lo <= true_value <= hi
+
+
+@given(samples)
+def test_quantile_bounds_within_bucket_edges(data):
+    h = _hist(data)
+    if not data:
+        return
+    for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+        lo, hi = h.quantile_bounds(q)
+        # bounds come from the bucket-edge lattice, clamped by
+        # observed extrema
+        lattice = {0.0, h.min, h.max, *EDGES}
+        assert lo in lattice
+        assert hi in lattice
+
+
+@given(samples)
+def test_default_edges_cover_latency_range(data):
+    h = Histogram()
+    assert h.edges == DEFAULT_LATENCY_EDGES_S
+    for v in data:
+        h.observe(v)
+    assert h.count == len(data)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["peerview", "lease", "resolver"]),
+            st.sampled_from(["a", "b"]),
+            st.integers(min_value=1, max_value=5),
+        ),
+        max_size=40,
+    )
+)
+def test_registry_merge_conserves_counters(events):
+    # split the event stream across two "workers", merge, compare with
+    # a single registry that saw everything
+    r1, r2, whole = MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+    for i, (proto, name, n) in enumerate(events):
+        (r1 if i % 2 == 0 else r2).count(proto, name, n)
+        whole.count(proto, name, n)
+    merged = MetricsRegistry.merged([r1, r2])
+    assert merged.snapshot() == whole.snapshot()
+
+
+@given(samples, samples)
+def test_registry_merge_conserves_histograms(a, b):
+    r1, r2 = MetricsRegistry(), MetricsRegistry()
+    for v in a:
+        r1.observe("endpoint", "delay", v)
+    for v in b:
+        r2.observe("endpoint", "delay", v)
+    merged = MetricsRegistry.merged([r1, r2])
+    if not a and not b:
+        assert "endpoint.delay" not in merged.snapshot()["histograms"]
+        return
+    snap = merged.snapshot()["histograms"]["endpoint.delay"]
+    assert snap["count"] == len(a) + len(b)
+    assert snap["sum"] == pytest.approx(sum(a) + sum(b), rel=1e-9, abs=1e-9)

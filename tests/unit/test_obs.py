@@ -1,0 +1,230 @@
+"""Unit tests: metrics registry, timeline tracer, observability hub."""
+
+import json
+
+import pytest
+
+from repro.network import Network
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    Observability,
+    ObsSession,
+    TimelineTracer,
+    activate,
+    current,
+    deactivate,
+    enable_observability,
+    session,
+)
+from repro.sim import Simulator
+
+
+class TestHistogram:
+    def test_bucketing_and_overflow(self):
+        h = Histogram(edges=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1]
+        assert h.overflow == 1
+        assert h.count == 4
+        assert h.min == 0.5 and h.max == 100.0
+
+    def test_edge_values_go_to_lower_bucket(self):
+        # buckets are (prev, edge]: an observation equal to an upper
+        # edge lands in that bucket, not the next one
+        h = Histogram(edges=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.counts == [1, 0]
+
+    def test_merge_requires_identical_edges(self):
+        a = Histogram(edges=(1.0, 2.0))
+        b = Histogram(edges=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_mean(self):
+        h = Histogram(edges=(10.0,))
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.mean == pytest.approx(2.0)
+
+    def test_quantile_bounds_clamped_by_observed_extrema(self):
+        h = Histogram(edges=(1.0, 10.0, 100.0))
+        h.observe(5.0)
+        h.observe(6.0)
+        lo, hi = h.quantile_bounds(0.5)
+        # both samples sit in the (1, 10] bucket, but the observed
+        # min/max tighten the bound
+        assert lo == 5.0
+        assert hi == 6.0
+
+    def test_snapshot_round_trips_through_json(self):
+        h = Histogram(edges=(1.0, 2.0))
+        h.observe(0.5)
+        snap = h.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            Histogram(edges=())
+        with pytest.raises(ValueError):
+            Histogram(edges=(2.0, 1.0))
+
+
+class TestMetricsRegistry:
+    def test_count_and_counter(self):
+        r = MetricsRegistry()
+        r.count("peerview", "probe.sent")
+        r.count("peerview", "probe.sent", 2)
+        assert r.counter("peerview", "probe.sent") == 3
+        assert r.counter("peerview", "missing") == 0
+
+    def test_gauge_last_write_wins(self):
+        r = MetricsRegistry()
+        r.gauge("peerview", "size", 3.0)
+        r.gauge("peerview", "size", 5.0)
+        assert r.snapshot()["gauges"] == {"peerview.size": 5.0}
+
+    def test_snapshot_keys_sorted_and_flattened(self):
+        r = MetricsRegistry()
+        r.count("resolver", "query.sent")
+        r.count("discovery", "publish")
+        assert list(r.snapshot()["counters"]) == [
+            "discovery.publish", "resolver.query.sent",
+        ]
+
+    def test_merge_adds_counters_and_merges_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.count("lease", "grant", 2)
+        b.count("lease", "grant", 3)
+        a.observe("endpoint", "delay", 0.002)
+        b.observe("endpoint", "delay", 0.004)
+        a.merge(b)
+        assert a.counter("lease", "grant") == 5
+        assert a.histogram("endpoint", "delay").count == 2
+
+
+class TestTimelineTracer:
+    def test_ring_buffer_drops_oldest_and_counts(self):
+        tr = TimelineTracer(capacity=3)
+        for i in range(5):
+            tr.record(float(i), "peerview", f"e{i}")
+        assert len(tr) == 3
+        assert tr.dropped == 2
+        assert [e.name for e in tr.events] == ["e2", "e3", "e4"]
+
+    def test_category_filter(self):
+        tr = TimelineTracer(categories=("peerview",))
+        tr.record(0.0, "peerview", "probe.sent")
+        tr.record(0.0, "discovery", "publish")
+        assert [e.cat for e in tr.events] == ["peerview"]
+        assert tr.dropped == 0  # filtered events are not "drops"
+
+    def test_jsonl_lines_are_canonical(self):
+        tr = TimelineTracer()
+        tr.record(1.5, "lease", "grant", "tcp://a:1", {"edge": "tcp://b:1"})
+        (line,) = tr.to_jsonl_lines()
+        assert line == (
+            '{"actor":"tcp://a:1","args":{"edge":"tcp://b:1"},'
+            '"cat":"lease","name":"grant","t":1.5}'
+        )
+
+    def test_chrome_trace_shape(self):
+        tr = TimelineTracer()
+        tr.record(0.001, "peerview", "probe.sent", "tcp://a:1")
+        tr.record(0.002, "peerview", "probe.recv", "tcp://b:1")
+        trace = tr.to_chrome_trace()
+        events = trace["traceEvents"]
+        instants = [e for e in events if e["ph"] == "i"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert [e["ts"] for e in instants] == [1000, 2000]  # microseconds
+        assert {e["tid"] for e in instants} == {1, 2}
+        assert {m["args"]["name"] for m in metas} == {
+            "tcp://a:1", "tcp://b:1",
+        }
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            TimelineTracer(capacity=0)
+
+
+class TestObservabilityHub:
+    def test_inactive_without_sinks(self):
+        assert Observability().active is False
+        assert Observability(metrics=MetricsRegistry()).active is True
+
+    def test_enable_disable(self):
+        obs = Observability(metrics=MetricsRegistry())
+        obs.disable()
+        assert obs.active is False
+        obs.enable()
+        assert obs.active is True
+
+    def test_attach_refuses_double_attachment(self):
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        enable_observability(net)
+        with pytest.raises(RuntimeError):
+            enable_observability(net)
+
+    def test_detach_restores_network_and_kernel_hook(self):
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        obs = enable_observability(net, trace=True, trace_kernel=True)
+        sim.schedule(1.0, lambda: None, label="tick")
+        sim.run()
+        assert [e.name for e in obs.tracer.events] == ["tick"]
+        obs.detach()
+        assert net.obs is None
+        sim.schedule(2.0, lambda: None, label="tock")
+        sim.run()
+        assert [e.name for e in obs.tracer.events] == ["tick"]
+
+    def test_event_counts_and_traces(self):
+        obs = Observability(
+            metrics=MetricsRegistry(), tracer=TimelineTracer()
+        )
+        obs.event(1.0, "peerview", "probe.sent", "tcp://a:1", dst="tcp://b:1")
+        assert obs.metrics.counter("peerview", "probe.sent") == 1
+        (e,) = obs.tracer.events
+        assert (e.cat, e.name, e.args) == (
+            "peerview", "probe.sent", {"dst": "tcp://b:1"},
+        )
+
+
+class TestObsSession:
+    def test_adopts_networks_created_inside(self):
+        with session(metrics=True) as s:
+            sim = Simulator(seed=1)
+            net = Network(sim)
+        assert len(s.hubs) == 1
+        assert s.hubs[0].network is net
+        # and networks created after the session ends are untouched
+        assert Network(Simulator(seed=2)).obs is None
+
+    def test_activate_deactivate_order_enforced(self):
+        a, b = ObsSession(), ObsSession()
+        activate(a)
+        activate(b)
+        with pytest.raises(RuntimeError):
+            deactivate(a)
+        deactivate(b)
+        deactivate(a)
+        with pytest.raises(RuntimeError):
+            deactivate(a)
+
+    def test_current_reflects_stack(self):
+        assert current() is None
+        with session(metrics=True) as s:
+            assert current() is s
+        assert current() is None
+
+    def test_merged_snapshot_spans_networks(self):
+        with session(metrics=True) as s:
+            for seed in (1, 2):
+                sim = Simulator(seed=seed)
+                net = Network(sim)
+                net.obs.metrics.count("peerview", "probe.sent")
+        snap = s.merged_snapshot()
+        assert snap["counters"]["peerview.probe.sent"] == 2

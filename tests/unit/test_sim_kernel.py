@@ -228,6 +228,71 @@ class TestTraceHooks:
         sim.run()
         assert seen == [(1.0, "fire", "ping")]
 
+    def test_remove_without_phases_drops_whole_registration(self):
+        sim = Simulator()
+        seen = []
+        hook = lambda t, phase, h: seen.append((phase, h.label))  # noqa: E731
+        sim.add_trace_hook(hook, phases=("fire", "done"))
+        sim.remove_trace_hook(hook)
+        sim.schedule(1.0, lambda: None, label="ping")
+        sim.run()
+        assert seen == []
+
+    def test_remove_named_phase_keeps_remainder(self):
+        sim = Simulator()
+        seen = []
+        hook = lambda t, phase, h: seen.append((phase, h.label))  # noqa: E731
+        sim.add_trace_hook(hook, phases=("fire", "done"))
+        sim.remove_trace_hook(hook, phases=("done",))
+        sim.schedule(1.0, lambda: None, label="ping")
+        sim.run()
+        # the "fire" half of the registration survives
+        assert seen == [("fire", "ping")]
+
+    def test_remove_last_phase_empties_registration(self):
+        sim = Simulator()
+        seen = []
+        hook = lambda t, phase, h: seen.append(phase)  # noqa: E731
+        sim.add_trace_hook(hook, phases=("fire",))
+        sim.remove_trace_hook(hook, phases=("fire",))
+        sim.schedule(1.0, lambda: None, label="ping")
+        sim.run()
+        assert seen == []
+        # the registration is gone, not just muted: re-adding starts fresh
+        sim.add_trace_hook(hook, phases=("done",))
+        sim.schedule(1.0, lambda: None, label="pong")
+        sim.run()
+        assert seen == ["done"]
+
+    def test_remove_phase_not_registered_is_noop(self):
+        sim = Simulator()
+        seen = []
+        hook = lambda t, phase, h: seen.append(phase)  # noqa: E731
+        sim.add_trace_hook(hook, phases=("fire",))
+        sim.remove_trace_hook(hook, phases=("done",))
+        sim.schedule(1.0, lambda: None, label="ping")
+        sim.run()
+        assert seen == ["fire"]
+
+    def test_remove_phases_only_touches_named_hook(self):
+        sim = Simulator()
+        seen = []
+        keep = lambda t, phase, h: seen.append(("keep", phase))  # noqa: E731
+        drop = lambda t, phase, h: seen.append(("drop", phase))  # noqa: E731
+        sim.add_trace_hook(keep, phases=("fire",))
+        sim.add_trace_hook(drop, phases=("fire",))
+        sim.remove_trace_hook(drop, phases=("fire",))
+        sim.schedule(1.0, lambda: None, label="ping")
+        sim.run()
+        assert seen == [("keep", "fire")]
+
+    def test_remove_unknown_phase_name_rejected(self):
+        sim = Simulator()
+        hook = lambda t, phase, h: None  # noqa: E731
+        sim.add_trace_hook(hook)
+        with pytest.raises(ValueError):
+            sim.remove_trace_hook(hook, phases=("bogus",))
+
 
 class TestSecondsConstant:
     def test_unit_sanity(self):
