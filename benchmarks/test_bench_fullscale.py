@@ -16,6 +16,8 @@ scans, O(n) referral candidate lists, URN-string hashing on every
 lookup) rather than merely slow.
 """
 
+import sys
+
 from repro.config import PlatformConfig
 from repro.deploy import OverlayDescription, build_overlay
 from repro.network import Network
@@ -43,14 +45,28 @@ def test_fullscale_steady_state_throughput(benchmark):
     warmed_events = sim.events_fired
 
     deadline = [WARMUP_SIM_MINUTES * MINUTES]
+    alloc_per_event = [0.0]
 
     def advance():
         deadline[0] += ROUND_SIM_MINUTES * MINUTES
+        # net allocated-block growth per fired event over the round:
+        # with the steady-state pools warm this should be ~0 (the
+        # getallocatedblocks delta is what the object pooling exists
+        # to eliminate); the last round's value lands on the recorded
+        # trajectory via extra_info
+        blocks_before = sys.getallocatedblocks()
+        events_before = sim.events_fired
         sim.run(until=deadline[0])
-        return sim.events_fired
+        fired_now = sim.events_fired
+        alloc_per_event[0] = (
+            (sys.getallocatedblocks() - blocks_before)
+            / (fired_now - events_before)
+        )
+        return fired_now
 
     # Each round is a distinct, equally-converged slice of the same
     # timeline; no per-round setup/teardown keeps rounds comparable.
     fired = benchmark.pedantic(advance, rounds=4, iterations=1)
+    benchmark.extra_info["alloc_per_event"] = round(alloc_per_event[0], 4)
     assert warmed_events > 100_000
     assert fired > warmed_events

@@ -1,0 +1,76 @@
+"""Bench: beyond-paper scale (r = 1160) steady-state window.
+
+The paper stops at 580 rendezvous peers — the size of the Grid'5000
+deployment it had machines for.  This benchmark doubles that and keeps
+the same steady-state measurement discipline as
+``test_bench_fullscale.py`` (warm outside the timer, advance the same
+timeline per round), answering the question the paper could not:
+does the simulated overlay's *marginal* cost stay linear in ``r`` past
+the published scale?
+
+The windows are shorter than the full-scale benchmark's (the per-slice
+message volume doubles with ``r``), keeping the whole benchmark inside
+the CI bench-smoke budget.  The filename sorts after
+``test_bench_fullscale.py`` so the full-scale RSS floor (checked on a
+process-cumulative ``ru_maxrss``) is measured before this larger run
+inflates it.
+"""
+
+import sys
+
+from repro.config import PlatformConfig
+from repro.deploy import OverlayDescription, build_overlay
+from repro.network import Network
+from repro.sim import MINUTES, Simulator
+
+#: Twice the paper's full deployment.
+DOUBLE_SCALE_RDV_COUNT = 1160
+#: Simulated warmup before measurement starts (view convergence).
+WARMUP_SIM_MINUTES = 10
+#: Simulated time advanced per measured round.
+ROUND_SIM_MINUTES = 2
+
+
+def test_double_scale_steady_state_throughput(benchmark):
+    """Marginal wall-clock cost of 2 simulated minutes of a converged
+    1160-rendezvous peerview overlay."""
+    sim = Simulator(seed=1)
+    network = Network(sim)
+    overlay = build_overlay(
+        sim, network, PlatformConfig(),
+        OverlayDescription(rendezvous_count=DOUBLE_SCALE_RDV_COUNT),
+    )
+    overlay.start()
+    sim.run(until=WARMUP_SIM_MINUTES * MINUTES)
+    warmed_events = sim.events_fired
+
+    deadline = [WARMUP_SIM_MINUTES * MINUTES]
+    alloc_per_event = [0.0]
+    round_events = [0]
+
+    def advance():
+        deadline[0] += ROUND_SIM_MINUTES * MINUTES
+        blocks_before = sys.getallocatedblocks()
+        events_before = sim.events_fired
+        sim.run(until=deadline[0])
+        fired_now = sim.events_fired
+        round_events[0] = fired_now - events_before
+        alloc_per_event[0] = (
+            (sys.getallocatedblocks() - blocks_before)
+            / (fired_now - events_before)
+        )
+        return fired_now
+
+    fired = benchmark.pedantic(advance, rounds=3, iterations=1)
+    benchmark.extra_info["alloc_per_event"] = round(alloc_per_event[0], 4)
+    assert warmed_events > 100_000
+    assert fired > warmed_events
+    # the protocol's traffic is per-peer periodic, so the steady-state
+    # event rate must scale ~linearly with r: at double scale each
+    # 2-sim-minute round fires on the order of 2 * (580-scale rate);
+    # a superlinear blow-up (the pre-PR-4 quadratic regime) would
+    # overshoot this band by an order of magnitude
+    per_peer_per_min = (
+        round_events[0] / DOUBLE_SCALE_RDV_COUNT / ROUND_SIM_MINUTES
+    )
+    assert 10 <= per_peer_per_min <= 120, per_peer_per_min

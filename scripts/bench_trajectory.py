@@ -18,11 +18,15 @@ Three subcommands:
     the speedup of each entry relative to the first one).
 
 ``check``
-    Assert a floor: fail (exit 1) if a benchmark's min time exceeds a
-    bound.  Used by the CI ``bench-smoke`` job::
+    Assert a floor: fail (exit 1) if a benchmark's min time exceeds
+    ``--max-seconds`` or its peak RSS exceeds ``--max-rss-kb``.  Used
+    by the CI ``bench-smoke`` job::
 
         python scripts/bench_trajectory.py check .benchmarks/latest.json \\
             --bench test_event_loop_throughput --max-seconds 0.8
+        python scripts/bench_trajectory.py check .benchmarks/latest.json \\
+            --bench test_fullscale_steady_state_throughput \\
+            --max-rss-kb 159356
 
 Only ``min`` is compared across entries: it is the statistic least
 polluted by scheduler noise (the median moves tens of percent between
@@ -53,10 +57,17 @@ def _stats_of(report: dict) -> dict:
     return out
 
 
-#: extra_info keys (attached by ``benchmarks/conftest.py``) copied into
-#: trajectory entries when present.  ``peak_rss_kb`` is always emitted;
-#: the tracemalloc pair only under ``REPRO_BENCH_TRACEMALLOC=1``.
-MEMORY_KEYS = ("peak_rss_kb", "tracemalloc_peak_kb", "tracemalloc_alloc_blocks")
+#: extra_info keys (attached by ``benchmarks/conftest.py`` and by the
+#: steady-state benchmarks themselves) copied into trajectory entries
+#: when present.  ``peak_rss_kb`` is always emitted; ``alloc_per_event``
+#: by the benchmarks that measure it; the tracemalloc pair only under
+#: ``REPRO_BENCH_TRACEMALLOC=1``.
+MEMORY_KEYS = (
+    "peak_rss_kb",
+    "alloc_per_event",
+    "tracemalloc_peak_kb",
+    "tracemalloc_alloc_blocks",
+)
 
 
 def _extra_info_of(report: dict) -> dict:
@@ -108,20 +119,50 @@ def cmd_show(args: argparse.Namespace) -> int:
         return 0
     for name, entries in benches.items():
         print(f"\n{name}")
-        base = entries[0]["min_s"]
+        # render defensively: hand-edited or pre-rename entries may
+        # miss min_s/median_s/peak_rss_kb (or carry null values);
+        # such fields print as "?" instead of crashing the report
+        base = next(
+            (e.get("min_s") for e in entries if e.get("min_s")), None
+        )
+        prev_min = None
+        prev_rss = None
         for e in entries:
-            speedup = base / e["min_s"] if e["min_s"] else float("inf")
+            min_s = e.get("min_s")
+            median_s = e.get("median_s")
+            rss_kb = e.get("peak_rss_kb")
+            alloc = e.get("alloc_per_event")
             commit = e.get("commit", "")
-            rss = (
-                f"  rss {e['peak_rss_kb'] / 1024:6.0f} MB"
-                if "peak_rss_kb" in e
-                else ""
+            min_txt = f"{min_s * 1e3:9.1f} ms" if min_s else "        ?"
+            med_txt = f"{median_s * 1e3:9.1f} ms" if median_s else "        ?"
+            if min_s and base:
+                speed_txt = f"x{base / min_s:5.2f}"
+            else:
+                speed_txt = "x    ?"
+            # per-label deltas against the previous entry that had the
+            # same statistic (time and RSS both)
+            delta_txt = ""
+            if min_s and prev_min:
+                delta_txt = f"  {100.0 * (min_s - prev_min) / prev_min:+6.1f}%"
+            rss_txt = ""
+            if rss_kb is not None:
+                rss_txt = f"  rss {rss_kb / 1024:6.0f} MB"
+                if prev_rss:
+                    rss_txt += (
+                        f" ({100.0 * (rss_kb - prev_rss) / prev_rss:+5.1f}%)"
+                    )
+            alloc_txt = (
+                f"  alloc/ev {alloc:6.2f}" if alloc is not None else ""
             )
             print(
-                f"  {e['label']:<28} min {e['min_s'] * 1e3:9.1f} ms"
-                f"  median {e['median_s'] * 1e3:9.1f} ms"
-                f"  x{speedup:5.2f}{rss}  {commit}"
+                f"  {e.get('label', '?'):<28} min {min_txt}"
+                f"  median {med_txt}"
+                f"  {speed_txt}{delta_txt}{rss_txt}{alloc_txt}  {commit}"
             )
+            if min_s:
+                prev_min = min_s
+            if rss_kb is not None:
+                prev_rss = rss_kb
     return 0
 
 
@@ -136,7 +177,10 @@ def cmd_memory(args: argparse.Namespace) -> int:
         rss = info.get("peak_rss_kb")
         peak = info.get("tracemalloc_peak_kb")
         blocks = info.get("tracemalloc_alloc_blocks")
+        alloc = info.get("alloc_per_event")
         line = f"{name}: peak RSS {rss / 1024:.0f} MB" if rss else name
+        if alloc is not None:
+            line += f", {alloc:.2f} allocated blocks/event"
         if peak is not None:
             line += f", tracemalloc peak {peak / 1024:.1f} MB"
         if blocks is not None:
@@ -152,10 +196,39 @@ def cmd_check(args: argparse.Namespace) -> int:
     if s is None:
         print(f"benchmark {args.bench!r} not in {args.report}", file=sys.stderr)
         return 1
-    min_s = s["min"]
-    print(f"{args.bench}: min {min_s * 1e3:.1f} ms (floor {args.max_seconds * 1e3:.0f} ms)")
-    if min_s > args.max_seconds:
-        print("FAIL: benchmark slower than the floor", file=sys.stderr)
+    failed = False
+    if args.max_seconds is not None:
+        min_s = s["min"]
+        print(
+            f"{args.bench}: min {min_s * 1e3:.1f} ms"
+            f" (floor {args.max_seconds * 1e3:.0f} ms)"
+        )
+        if min_s > args.max_seconds:
+            print("FAIL: benchmark slower than the floor", file=sys.stderr)
+            failed = True
+    if args.max_rss_kb is not None:
+        rss = _extra_info_of(report).get(args.bench, {}).get("peak_rss_kb")
+        if rss is None:
+            print(
+                f"FAIL: {args.bench} recorded no peak_rss_kb", file=sys.stderr
+            )
+            failed = True
+        else:
+            print(
+                f"{args.bench}: peak RSS {rss} KB"
+                f" (floor {args.max_rss_kb:.0f} KB)"
+            )
+            if rss > args.max_rss_kb:
+                print(
+                    "FAIL: benchmark used more memory than the floor",
+                    file=sys.stderr,
+                )
+                failed = True
+    if args.max_seconds is None and args.max_rss_kb is None:
+        print("check: nothing to check (pass --max-seconds and/or "
+              "--max-rss-kb)", file=sys.stderr)
+        return 1
+    if failed:
         return 1
     print("OK")
     return 0
@@ -182,8 +255,14 @@ def main(argv=None) -> int:
     p.add_argument("report", help="pytest-benchmark JSON file")
     p.add_argument("--bench", required=True, help="benchmark name")
     p.add_argument(
-        "--max-seconds", type=float, required=True,
+        "--max-seconds", type=float, default=None,
         help="fail if the min time exceeds this many seconds",
+    )
+    p.add_argument(
+        "--max-rss-kb", type=float, default=None,
+        help="fail if the benchmark's peak RSS (ru_maxrss, KB) exceeds "
+        "this value; ru_maxrss is process-cumulative, so run the "
+        "benchmark this guards FIRST in its pytest invocation",
     )
     p.set_defaults(fn=cmd_check)
 

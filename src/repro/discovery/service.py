@@ -46,7 +46,7 @@ from repro.sim.kernel import Simulator
 DISCOVERY_HANDLER_NAME = "jxta.service.discovery"
 
 
-@dataclass
+@dataclass(slots=True)
 class DiscoveryQueryPayload:
     """Body of a discovery resolver query."""
 
@@ -81,7 +81,7 @@ class DiscoveryQueryPayload:
         return 220 + len(self.adv_type) + len(self.attribute) + len(self.value)
 
 
-@dataclass
+@dataclass(slots=True)
 class DiscoveryResponsePayload:
     """Body of a discovery resolver response."""
 
@@ -93,7 +93,7 @@ class DiscoveryResponsePayload:
         return 160 + sum(a.size_bytes() for a in self.advertisements)
 
 
-@dataclass
+@dataclass(slots=True)
 class _Outstanding:
     """Searcher-side record of an in-flight remote query."""
 

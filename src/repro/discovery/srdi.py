@@ -30,7 +30,7 @@ from repro.sim.kernel import Simulator
 from repro.sim.process import PeriodicTask, Process
 
 
-@dataclass
+@dataclass(slots=True)
 class SrdiPayload:
     """One SRDI push: tuples published by one peer."""
 
@@ -54,7 +54,7 @@ class SrdiPayload:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class _SrdiRecord:
     publisher: PeerID
     publisher_address: str

@@ -22,7 +22,7 @@ forwards the query to the publisher edge) is carried.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.advertisement.routeadv import RouteAdvertisement
 from repro.ids.jxtaid import PeerID
@@ -39,10 +39,15 @@ class EndpointRouter:
     def __init__(self, endpoint: "EndpointService") -> None:  # noqa: F821
         self.endpoint = endpoint
         endpoint.router = self
-        #: interned peer key -> hop list; reverse-route learning runs
-        #: once per received message, so the table hashes dense ints
+        #: interned peer key -> route; reverse-route learning runs
+        #: once per received message, so the table hashes dense ints.
+        #: Single-hop routes — the overwhelming majority at any scale —
+        #: are stored as the bare address string: a converged r = 580
+        #: overlay holds ~l routes per peer, and wrapping each in a
+        #: one-element list costs ~20 MB of resident heap across the
+        #: overlay.  Multi-hop routes keep the hop list.
         self.interner = endpoint.interner
-        self._routes: Dict[int, List[str]] = {}
+        self._routes: Dict[int, Union[str, List[str]]] = {}
         self._default_route: Optional[str] = None
         self.forwards = 0
         self.no_route_drops = 0
@@ -55,20 +60,21 @@ class EndpointRouter:
         if not hops:
             raise ValueError("route needs at least one hop")
         key = self.interner.intern(peer_id)
-        existing = self._routes.get(key)
-        if existing != hops:
-            # skip the copy when the route is unchanged — protocols
+        if len(hops) == 1:
+            # skip the write when the route is unchanged — protocols
             # re-install the same single-hop route on every message
+            if self._routes.get(key) != hops[0]:
+                self._routes[key] = hops[0]
+        elif self._routes.get(key) != hops:
             self._routes[key] = list(hops)
 
     def add_direct_route(self, peer_id: PeerID, address: str) -> None:
-        """Install/refresh a single-hop route without the hop-list
-        allocation of :meth:`add_route` — the peerview learn path runs
-        this once per probe/response/update received."""
+        """Install/refresh a single-hop route without any hop-list
+        allocation — the peerview learn path runs this once per
+        probe/response/update received."""
         key = self.interner.intern(peer_id)
-        existing = self._routes.get(key)
-        if existing is None or len(existing) != 1 or existing[0] != address:
-            self._routes[key] = [address]
+        if self._routes.get(key) != address:
+            self._routes[key] = address
 
     def add_route_advertisement(self, adv: RouteAdvertisement) -> None:
         self.add_route(adv.dst_peer_id, adv.hops)
@@ -81,11 +87,12 @@ class EndpointRouter:
             return
         existing = self._routes.get(key)
         if existing is None or (
-            len(existing) == 1 and existing[0] != origin_address
+            type(existing) is str and existing != origin_address
         ):
+            # a multi-hop route is never overwritten by hearsay;
             # unchanged single-hop routes (the common case: every
-            # message from a stable peer) skip the list allocation
-            self._routes[key] = [origin_address]
+            # message from a stable peer) skip the write
+            self._routes[key] = origin_address
 
     def remove_route(self, peer_id: PeerID) -> None:
         key = self.interner.lookup(peer_id)
@@ -105,7 +112,7 @@ class EndpointRouter:
         key = self.interner.lookup(peer_id)
         hops = None if key is None else self._routes.get(key)
         if hops is not None:
-            return list(hops)
+            return [hops] if type(hops) is str else list(hops)
         if self._default_route is not None:
             return [self._default_route]
         return None

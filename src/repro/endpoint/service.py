@@ -58,6 +58,12 @@ class EndpointMessage:
     origin_address: str = ""
     ttl: int = DEFAULT_TTL
     hops_taken: int = 0
+    #: True only while a pooled message shell is in flight: the sender
+    #: acquired it from the network's message free list and the
+    #: network returns it there after the delivery callback.  Senders
+    #: must only set this on messages whose receivers do not retain
+    #: the shell (bodies may be retained — they are separate objects).
+    recyclable: bool = False
 
     def size_bytes(self) -> int:
         # _body_size inlined: computed once per message sent
@@ -67,8 +73,15 @@ class EndpointMessage:
         return MESSAGE_HEADER_BYTES + _body_size(self.body)
 
     def forwarded(self) -> "EndpointMessage":
-        """Copy with TTL decremented / hop count incremented."""
-        return replace(self, ttl=self.ttl - 1, hops_taken=self.hops_taken + 1)
+        """Copy with TTL decremented / hop count incremented.  The
+        copy is never recyclable: a relay queue may retain it past the
+        next delivery callback."""
+        return replace(
+            self,
+            ttl=self.ttl - 1,
+            hops_taken=self.hops_taken + 1,
+            recyclable=False,
+        )
 
 
 class EndpointService:
@@ -98,6 +111,14 @@ class EndpointService:
         #: through the relay queue.
         self.advertised_address = transport_address
         self._listeners: Dict[Tuple[str, str], EndpointListener] = {}
+        # one-entry listener cache: steady-state traffic at a peer is
+        # dominated by a single service (peerview on a rendezvous),
+        # and service name/param strings arrive as the same constant
+        # objects, so two identity checks usually replace the tuple
+        # build + dict lookup per message
+        self._hot_name: Optional[str] = None
+        self._hot_param: Optional[str] = None
+        self._hot_listener: Optional[EndpointListener] = None
         #: Set by the owning peer; forwards messages for other peers.
         self.router = None  # type: Optional["EndpointRouter"]
         #: Optional hook (a rendezvous relay server): called with each
@@ -138,9 +159,13 @@ class EndpointService:
         if key in self._listeners:
             raise ValueError(f"listener already registered for {key}")
         self._listeners[key] = listener
+        self._hot_name = None
+        self._hot_listener = None
 
     def remove_listener(self, service_name: str, service_param: str) -> None:
         self._listeners.pop((service_name, service_param), None)
+        self._hot_name = None
+        self._hot_listener = None
 
     # ------------------------------------------------------------------
     # sending
@@ -191,22 +216,41 @@ class EndpointService:
         self.messages_in += 1
         router = self.router
         peer_key = self.peer_key
+        interner = self.interner
         if router is not None and message.origin_address:
             # inlined router.learn_reverse_route (kept as a method for
-            # other callers): this runs once per received message
-            key = self._intern(message.src_peer)
+            # other callers): this runs once per received message, and
+            # the interner's cached-key fast path is unrolled too (an
+            # attribute load + identity check instead of a call)
+            src_peer = message.src_peer
+            try:
+                table, key = src_peer._intern
+                if table is not interner:
+                    key = interner.intern(src_peer)
+            except AttributeError:
+                key = interner.intern(src_peer)
             if key != peer_key:
                 routes = router._routes
-                existing = routes.get(key)
-                if existing is None or (
-                    len(existing) == 1
-                    and existing[0] != message.origin_address
-                ):
-                    routes[key] = [message.origin_address]
-        if (
-            message.dst_peer is not None
-            and self._intern(message.dst_peer) != peer_key
-        ):
+                try:
+                    existing = routes[key]
+                    if (
+                        type(existing) is str
+                        and existing != message.origin_address
+                    ):
+                        routes[key] = message.origin_address
+                except KeyError:
+                    routes[key] = message.origin_address
+        dst_peer = message.dst_peer
+        if dst_peer is not None:
+            try:
+                table, dst_key = dst_peer._intern
+                if table is not interner:
+                    dst_key = interner.intern(dst_peer)
+            except AttributeError:
+                dst_key = interner.intern(dst_peer)
+        else:
+            dst_key = peer_key
+        if dst_key != peer_key:
             # ERP relay (e.g. a rendezvous forwarding to its edge); the
             # router checks the HTTP relay queue before forwarding
             if self.router is None or message.ttl <= 0:
@@ -220,13 +264,22 @@ class EndpointService:
                 )
             self.router.route_and_send(message.forwarded())
             return
-        listener = self._listeners.get(
-            (message.service_name, message.service_param)
-        )
-        if listener is None:
-            # JXTA drops messages for unknown services silently; keep a
-            # fallback wildcard on the service name for compactness.
-            listener = self._listeners.get((message.service_name, "*"))
+        name = message.service_name
+        param = message.service_param
+        if name is self._hot_name and param is self._hot_param:
+            listener = self._hot_listener
+        else:
+            listener = self._listeners.get((name, param))
             if listener is None:
-                return
+                # JXTA drops messages for unknown services silently;
+                # keep a fallback wildcard on the service name.
+                listener = self._listeners.get((name, "*"))
+                if listener is None:
+                    return
+            else:
+                # only exact matches are cached (a later exact
+                # registration must beat a cached wildcard)
+                self._hot_name = name
+                self._hot_param = param
+                self._hot_listener = listener
         listener(message)

@@ -19,16 +19,17 @@ are dropped, exactly like TCP connect failures to a dead host.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
 from repro.ids.intern import IdInternTable
 from repro.network.latency import Grid5000Latency, LatencyModel
 from repro.obs import runtime as _obs_runtime
-from repro.network.message import Envelope
+from repro.network.message import Envelope, _next_envelope_id
 from repro.network.site import Node
 from repro.network.stats import TrafficStats
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import _HANDLE_POOL_MAX, Simulator
 
 Handler = Callable[[Envelope], None]
 
@@ -36,6 +37,13 @@ Handler = Callable[[Envelope], None]
 DEFAULT_BANDWIDTH_BPS: float = 1e9
 #: Per-message software overhead (XML parse/emit + stack traversal).
 DEFAULT_SW_OVERHEAD: float = 0.8e-3
+
+#: Envelope free-list cap: bounds how many idle envelopes a network
+#: keeps around between delivery bursts.
+_ENVELOPE_POOL_MAX = 4096
+
+#: Message-shell free-list cap (see :attr:`Network.message_pool`).
+_MESSAGE_POOL_MAX = 4096
 
 
 class DeliveryError(Exception):
@@ -97,6 +105,15 @@ class Network:
     loss_rate:
         Probability a message silently disappears (default 0, like the
         paper's controlled testbed).
+    pooling:
+        Recycle delivered envelopes and fired deliver-timer handles
+        through per-network/per-simulator free lists, making the
+        steady-state send path allocation-free.  Defaults to the
+        ``REPRO_POOLING`` environment variable (on unless ``0``).
+        Delivery handlers (and observability recorders) must not
+        retain an envelope past the delivery callback — it is re-armed
+        in place by a later send.  ``REPRO_POOL_DEBUG=1`` adds
+        double-release integrity checks.
     """
 
     def __init__(
@@ -107,6 +124,7 @@ class Network:
         sw_overhead: float = DEFAULT_SW_OVERHEAD,
         loss_rate: float = 0.0,
         egress_queueing: bool = True,
+        pooling: Optional[bool] = None,
     ) -> None:
         if bandwidth_bps <= 0:
             raise ValueError(f"bandwidth must be > 0 (got {bandwidth_bps})")
@@ -154,6 +172,30 @@ class Network:
         # fixed for the network's lifetime)
         self._latency_delay = self.latency.delay
         self._schedule = sim.schedule
+        if pooling is None:
+            pooling = os.environ.get("REPRO_POOLING", "1") != "0"
+        #: steady-state recycling of envelopes + deliver handles
+        self.pooling = pooling
+        self._envelope_pool: list[Envelope] = []
+        #: Free list of endpoint message *shells* (the payload layer's
+        #: counterpart to the envelope pool).  Protocols that know
+        #: their receivers never retain the shell — the peerview
+        #: protocol is the volume sender — acquire shells here and
+        #: mark them ``recyclable``; the pooled delivery path returns
+        #: them after the delivery callback.  The transport stays
+        #: payload-agnostic: it only honours the ``recyclable`` flag.
+        self.message_pool: list = []
+        self._pool_debug = os.environ.get("REPRO_POOL_DEBUG", "") == "1"
+        self._env_pool_ids: set[int] = set()
+        self._acquire_handle = sim.acquire_handle
+        self._release_handle = sim.release_handle
+        self._reschedule = sim.reschedule
+        self._schedule_recycled = sim.schedule_recycled
+        # the non-debug delivery path returns handles to the kernel's
+        # free list inline (one bounds-checked append) instead of
+        # through release_handle; the list object is stable for the
+        # simulator's lifetime
+        self._handle_pool = sim._handle_pool
         # Grid'5000 fast path: reuse the site-name pair tuple the stats
         # counter needs anyway to probe the model's base-delay cache
         # directly, and draw the jitter inline — exactly the arithmetic
@@ -161,10 +203,17 @@ class Network:
         # (tests, custom topologies) goes through the generic call.
         if type(self.latency) is Grid5000Latency:
             self._g5k = self.latency
-            self._g5k_base = self.latency._base_cache.get
+            self._g5k_cache = self.latency._base_cache
+            # jitter is fixed at model construction; precomputing the
+            # band bounds keeps the per-send arithmetic bit-identical
+            # to Grid5000Latency.delay while dropping two subtractions
+            # and an attribute load per message
+            jitter = self.latency.jitter
+            self._g5k_lo = 1.0 - jitter
+            self._g5k_span = (1.0 + jitter) - self._g5k_lo
         else:
             self._g5k = None
-            self._g5k_base = None
+            self._g5k_cache = None
         #: Optional observability hub (``repro.obs``).  ``None`` by
         #: default; an active ObsSession adopts the network here so
         #: experiments and campaign tasks need no explicit plumbing.
@@ -267,16 +316,43 @@ class Network:
         sooner than a connect attempt would).  A destination that
         detaches while the message is in flight also drops it.
         """
-        entry = self._endpoints.get(src)
-        if entry is None:
-            raise DeliveryError(f"unknown source address: {src!r}")
-        src_node = entry[0]
+        # subscripting beats .get here: both lookups hit except for
+        # unknown senders (programming error) and in-flight-dead
+        # destinations (rare churn window)
+        endpoints = self._endpoints
+        try:
+            src_node = endpoints[src][0]
+        except KeyError:
+            raise DeliveryError(f"unknown source address: {src!r}") from None
         src_site = src_node.site
 
         now = self._clock._now
-        envelope = Envelope(src, dst, payload, size_bytes, 0, now)
-        dst_entry = self._endpoints.get(dst)
-        dst_site = dst_entry[0].site if dst_entry is not None else src_site
+        pool = self._envelope_pool
+        if pool and self.pooling:
+            # recycle a delivered envelope: direct field writes keep
+            # the construction semantics (size validation, fresh
+            # envelope_id) without the allocation or the __init__ call
+            if size_bytes <= 0:
+                raise ValueError(
+                    f"size_bytes must be > 0 (got {size_bytes})"
+                )
+            envelope = pool.pop()
+            if self._pool_debug:
+                self._env_pool_ids.discard(id(envelope))
+            envelope.src = src
+            envelope.dst = dst
+            envelope.payload = payload
+            envelope.size_bytes = size_bytes
+            envelope.envelope_id = _next_envelope_id()
+            envelope.sent_at = now
+        else:
+            envelope = Envelope(src, dst, payload, size_bytes, 0, now)
+        try:
+            dst_site = endpoints[dst][0].site
+            dst_dead = False
+        except KeyError:
+            dst_site = src_site
+            dst_dead = True
 
         # inlined stats.record_send (kept as a method for other callers):
         # four counter updates per message add up at full scale
@@ -293,10 +369,14 @@ class Network:
         serialization = size_bytes * 8.0 / self.bandwidth_bps
         if self.egress_queueing:
             busy = self._egress_busy_until
-            start = busy.get(src_node.node_id, 0.0)
-            if start < now:
+            nid = src_node.node_id
+            try:
+                start = busy[nid]
+                if start < now:
+                    start = now
+            except KeyError:  # first send from this node
                 start = now
-            busy[src_node.node_id] = start + serialization
+            busy[nid] = start + serialization
             queue_delay = start - now
             if queue_delay > self.peak_queue_delay:
                 self.peak_queue_delay = queue_delay
@@ -306,31 +386,69 @@ class Network:
 
         g5k = self._g5k
         if g5k is not None:
-            base = self._g5k_base(site_pair)
-            if base is None:
+            try:
+                base = self._g5k_cache[site_pair]
+            except KeyError:  # cold pair: compute (and cache) the base
                 base = g5k.base_delay(src_site, dst_site)
-            jitter = g5k.jitter
-            if jitter == 0:
+            span = self._g5k_span
+            if span == 0.0:
                 latency = base
             else:
-                lo = 1.0 - jitter
                 latency = base * (
-                    lo + ((1.0 + jitter) - lo) * self._latency_rng.random()
+                    self._g5k_lo + span * self._latency_rng.random()
                 )
         else:
             latency = self._latency_delay(src_site, dst_site, self._latency_rng)
         delay = egress + latency + self.sw_overhead
 
-        decision = NO_FAULT
-        if self.fault_controller is not None:
-            decision = self.fault_controller.intercept(
-                envelope, src_site.name, dst_site.name
+        # fault-free sends (every paper-configuration run) skip the
+        # decision object's attribute loads and the duplicate/faulted
+        # bookkeeping entirely
+        fc = self.fault_controller
+        if fc is None:
+            lost = (
+                dst_dead
+                or (
+                    self._partitions
+                    and frozenset(site_pair) in self._partitions
+                )
+                or (
+                    self.loss_rate > 0.0
+                    and self._loss_rng.random() < self.loss_rate
+                )
             )
-        delay += decision.extra_delay
+            obs = self.obs
+            if obs is not None and obs.active:
+                obs.on_network_send(
+                    now, site_pair, src, dst, payload, size_bytes, delay, lost
+                )
+            if lost:
+                self.stats.record_drop()
+                if on_drop is not None:
+                    self._schedule(delay, on_drop, envelope, label="net.drop")
+                return envelope
+            if self.pooling:
+                # the steady-state path: the deliver timer re-arms a
+                # recycled fired handle (same "net.deliver" label, same
+                # seq draw — kernel traces are byte-identical) and
+                # hands it to _deliver, which returns handle and
+                # envelope to their pools after the delivery callback
+                self._schedule_recycled(
+                    delay, self._deliver, envelope, on_drop, "net.deliver"
+                )
+                return envelope
+            self._schedule(
+                delay, self._deliver, envelope, on_drop, label="net.deliver"
+            )
+            return envelope
 
+        decision = fc.intercept(envelope, src_site.name, dst_site.name)
+        delay += decision.extra_delay
+        faulted_drop = decision.drop
+        duplicates = decision.duplicates
         lost = (
-            dst_entry is None
-            or decision.drop
+            dst_dead
+            or faulted_drop
             or (
                 self._partitions
                 and frozenset(site_pair) in self._partitions
@@ -347,31 +465,94 @@ class Network:
             )
         if lost:
             self.stats.record_drop()
-            if decision.drop:
+            if faulted_drop:
                 self.faulted_drops += 1
             if on_drop is not None:
                 self._schedule(delay, on_drop, envelope, label="net.drop")
             return envelope
 
+        if self.pooling and not duplicates:
+            self._schedule_recycled(
+                delay, self._deliver, envelope, on_drop, "net.deliver"
+            )
+            return envelope
         self._schedule(
             delay, self._deliver, envelope, on_drop, label="net.deliver"
         )
-        for _ in range(decision.duplicates):
+        for _ in range(duplicates):
             self.faulted_duplicates += 1
+            # duplicated deliveries share one envelope, so none of
+            # them may recycle it: all go through the unpooled path
             self._schedule(
                 delay, self._deliver, envelope, None, label="net.deliver.dup"
             )
         return envelope
 
     def _deliver(
-        self, envelope: Envelope, on_drop: Optional[Callable[[Envelope], None]]
+        self,
+        envelope: Envelope,
+        on_drop: Optional[Callable[[Envelope], None]],
+        handle=None,
     ) -> None:
-        entry = self._endpoints.get(envelope.dst)
-        if entry is None:
+        try:
+            entry = self._endpoints[envelope.dst]
+        except KeyError:
             # destination died while the message was in flight
             self.stats.record_drop()
             if on_drop is not None:
                 on_drop(envelope)
+            if handle is not None:
+                self._release_handle(handle)
+                if on_drop is None:
+                    self._release_envelope(envelope)
             return
         self.stats.messages_delivered += 1
         entry[1](envelope)
+        if handle is not None:
+            if self._pool_debug:
+                # debug keeps the integrity-checked release methods
+                self._release_handle(handle)
+                self._release_envelope(envelope)
+            else:
+                # inlined release_handle + _release_envelope: two
+                # bounds-checked appends instead of two Python frames
+                # on every delivered message
+                if handle._state is False:
+                    hpool = self._handle_pool
+                    if len(hpool) < _HANDLE_POOL_MAX:
+                        hpool.append(handle)
+                epool = self._envelope_pool
+                if len(epool) < _ENVELOPE_POOL_MAX:
+                    epool.append(envelope)
+            # recycle the message shell too (only pooled — never
+            # duplicated — deliveries reach this branch, so a shell
+            # is released at most once per flight); the try/except
+            # stays duck-typed for payloads without the flag while
+            # reading it as a plain attribute on endpoint messages
+            payload = envelope.payload
+            try:
+                recyclable = payload.recyclable
+            except AttributeError:
+                recyclable = False
+            if recyclable:
+                payload.recyclable = False
+                mpool = self.message_pool
+                if len(mpool) < _MESSAGE_POOL_MAX:
+                    mpool.append(payload)
+
+    def _release_envelope(self, envelope: Envelope) -> None:
+        """Return a delivered envelope to the free list.  The payload
+        reference is kept — clearing it would surprise senders that
+        still hold the envelope returned by :meth:`send` — and is
+        overwritten on reuse."""
+        pool = self._envelope_pool
+        if self._pool_debug:
+            eid = id(envelope)
+            if eid in self._env_pool_ids:
+                raise DeliveryError(
+                    f"double release of pooled envelope {envelope!r}"
+                )
+            if len(pool) < _ENVELOPE_POOL_MAX:
+                self._env_pool_ids.add(eid)
+        if len(pool) < _ENVELOPE_POOL_MAX:
+            pool.append(envelope)

@@ -23,9 +23,11 @@ from repro.rendezvous.messages import LeaseCancel, LeaseGrant, LeaseRequest
 LEASE_SERVICE_NAME = "jxta.service.rdv.lease"
 
 
-@dataclass
+@dataclass(slots=True)
 class EdgeLease:
-    """Rendezvous-side record of one subscribed edge."""
+    """Rendezvous-side record of one subscribed edge.  ``slots=True``:
+    a paper-scale rendezvous holds hundreds of these resident, and a
+    renewal mutates the record in place instead of replacing it."""
 
     edge_peer: PeerID
     edge_address: str
@@ -57,6 +59,12 @@ class RdvLeaseServer:
         self.renewals = 0
         self._net = endpoint.network
         self._actor = endpoint.transport_address
+        #: Flyweight grant body: the advertisement and duration are
+        #: fixed for the server's lifetime, so every grant/renewal
+        #: shares one immutable-in-transit body (receivers only read).
+        self._grant_body = LeaseGrant(
+            rdv_adv=local_adv, lease_duration=config.lease_duration
+        )
         #: Hooks for the SRDI layer (an edge arriving/leaving changes
         #: which attribute tables this rendezvous is responsible for).
         self.on_edge_connected: Optional[Callable[[PeerID], None]] = None
@@ -111,17 +119,24 @@ class RdvLeaseServer:
         self._purge(now)
         if isinstance(body, LeaseRequest):
             key = self.interner.intern(body.edge_peer)
-            is_new = key not in self._leases
-            self._leases[key] = EdgeLease(
-                edge_peer=body.edge_peer,
-                edge_address=body.edge_address,
-                expires_at=now + self.config.lease_duration,
-            )
+            lease = self._leases.get(key)
+            is_new = lease is None
             if is_new:
+                self._leases[key] = EdgeLease(
+                    edge_peer=body.edge_peer,
+                    edge_address=body.edge_address,
+                    expires_at=now + self.config.lease_duration,
+                )
                 heapq.heappush(
                     self._expiry_heap,
                     (now + self.config.lease_duration, key),
                 )
+            else:
+                # renewal: update the resident record in place (the
+                # expiry heap re-validates against it on pop)
+                lease.edge_peer = body.edge_peer
+                lease.edge_address = body.edge_address
+                lease.expires_at = now + self.config.lease_duration
             # the rendezvous must be able to reach its edges directly
             self.endpoint.router.add_route(body.edge_peer, [body.edge_address])
             if body.renewal:
@@ -141,10 +156,7 @@ class RdvLeaseServer:
                     dst_peer=body.edge_peer,
                     service_name=LEASE_SERVICE_NAME,
                     service_param=self.group_param,
-                    body=LeaseGrant(
-                        rdv_adv=self.local_adv,
-                        lease_duration=self.config.lease_duration,
-                    ),
+                    body=self._grant_body,
                 ),
             )
             if is_new and self.on_edge_connected is not None:
@@ -188,6 +200,12 @@ class EdgeLeaseClient:
         self.on_disconnected: Optional[Callable[[], None]] = None
         self._net = endpoint.network
         self._actor = endpoint.transport_address
+        #: Flyweight request messages (one per renewal flag): the edge
+        #: peer, its address and the lease service target never change,
+        #: so the steady-state renewal tick sends a cached message with
+        #: a cached body instead of allocating either.  Safe to share:
+        #: requests are only read in transit (``forwarded()`` copies).
+        self._request_messages: Dict[bool, EndpointMessage] = {}
         endpoint.add_listener(LEASE_SERVICE_NAME, group_param, self._on_message)
 
     # ------------------------------------------------------------------
@@ -255,17 +273,18 @@ class EdgeLeaseClient:
                 "request.renew" if renewal else "request.connect",
                 self._actor, rdv=target,
             )
-        self.endpoint.send_direct(
-            target,
-            self._message(
+        request = self._request_messages.get(renewal)
+        if request is None:
+            request = self._message(
                 LeaseRequest(
                     edge_peer=self.endpoint.peer_id,
                     edge_address=self.endpoint.transport_address,
                     renewal=renewal,
                 ),
                 dst_peer=None,
-            ),
-        )
+            )
+            self._request_messages[renewal] = request
+        self.endpoint.send_direct(target, request)
         self._request_timeout_handle = self.endpoint.sim.schedule(
             self.config.lease_request_timeout,
             self._request_timed_out,

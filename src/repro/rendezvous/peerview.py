@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import bisect
 import heapq
+import math
 import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
@@ -48,10 +49,18 @@ from repro.ids.jxtaid import PeerID
 _heappush = heapq.heappush
 _heappop = heapq.heappop
 
+#: Entry free-list cap per view (see ``PeerView._entry_pool``).
+_ENTRY_POOL_MAX = 1024
 
-@dataclass
+
+@dataclass(slots=True)
 class PeerViewEntry:
-    """One rendezvous advertisement held in a local peerview."""
+    """One rendezvous advertisement held in a local peerview.
+
+    ``slots=True`` matters at paper scale: a converged r = 580 overlay
+    holds ~580 of these per peer — ~336 k resident entries — and the
+    per-instance ``__dict__`` was the single largest block of steady
+    state heap."""
 
     adv: RdvAdvertisement
     first_seen: float
@@ -62,9 +71,17 @@ class PeerViewEntry:
         return self.adv.rdv_peer_id
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, eq=False)
 class PeerViewEvent:
-    """Add/remove event, the unit of the Figure 3 (right) scatter."""
+    """Add/remove event, the unit of the Figure 3 (right) scatter.
+
+    Deliberately *not* frozen: a frozen dataclass routes every field
+    through ``object.__setattr__`` in ``__init__``, and at paper scale
+    the view churns tens of thousands of add/remove events per
+    simulated slice (entries expiring faster than the protocol can
+    re-probe them is the paper's phase 2/3 behaviour, not an edge
+    case).  ``eq=False`` keeps identity semantics — events are
+    observed, never compared."""
 
     time: float
     kind: str  # "add" | "remove"
@@ -108,6 +125,11 @@ class PeerView:
         #: lazy expiry records, (last_refreshed when pushed, key)
         self._expiry_heap: List[Tuple[float, int]] = []
         self._listeners: List[PeerViewListener] = []
+        #: free list of removed entries: the expire/re-add churn of
+        #: phase 2/3 recycles entry objects instead of allocating.
+        #: Callers must not retain an entry past its removal — a later
+        #: add re-arms it in place (same contract as pooled envelopes).
+        self._entry_pool: List[PeerViewEntry] = []
         self.adds = 0
         self.removes = 0
 
@@ -196,16 +218,31 @@ class PeerView:
             # the stale expiry record re-validates against
             # ``last_refreshed`` when popped; no heap touch here
             return "refreshed"
-        self._entries[key] = PeerViewEntry(
-            adv=adv, first_seen=now, last_refreshed=now
-        )
+        self.add_keyed(key, adv, now)
+        return "added"
+
+    def add_keyed(self, key: int, adv: RdvAdvertisement, now: float) -> None:
+        """Insert a *new* entry whose interned key the caller has
+        already resolved and confirmed absent (and not the local
+        peer).  The protocol's receive path interns once and checks
+        membership before it gets here; re-deriving all three facts in
+        :meth:`upsert` was measurable at full scale."""
+        peer_id = adv.rdv_peer_id
+        pool = self._entry_pool
+        if pool:
+            entry = pool.pop()
+            entry.adv = adv
+            entry.first_seen = now
+            entry.last_refreshed = now
+        else:
+            entry = PeerViewEntry(adv=adv, first_seen=now, last_refreshed=now)
+        self._entries[key] = entry
         self._key_seq.append(key)
         bisect.insort(self._order, (peer_id._value, key))
         _heappush(self._expiry_heap, (now, key))
         self._ordered_view = None
         self.adds += 1
         self._emit(PeerViewEvent(time=now, kind="add", subject=peer_id))
-        return "added"
 
     def remove(self, peer_id: PeerID, now: float, reason: str = "") -> bool:
         """Drop an entry (expiry, explicit failure).  True if present."""
@@ -215,8 +252,14 @@ class PeerView:
         return self.remove_by_key(key, now, reason)
 
     def remove_by_key(self, key: int, now: float, reason: str = "") -> bool:
-        if self._entries.pop(key, None) is None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
             return False
+        pool = self._entry_pool
+        if len(pool) < _ENTRY_POOL_MAX:
+            # the adv reference is kept (overwritten on reuse), like a
+            # pooled envelope's payload
+            pool.append(entry)
         self._key_seq.remove(key)
         peer_id = self.interner.id_of(key)
         index = bisect.bisect_left(self._order, (peer_id._value,))
@@ -369,13 +412,26 @@ class PeerView:
         population *length* only, so sampling index positions from
         ``range(n)`` advances the stream exactly as sampling the list
         would, and the picked positions map through the insertion-order
-        key list (skipping the excluded slots) to the same keys."""
+        key list (skipping the excluded slots) to the same keys.
+
+        The position draw itself mirrors CPython's ``random.sample``
+        algorithm (partial Fisher-Yates over a pool for small
+        populations, rejection-sampled set for large ones, with the
+        same pool/set crossover) instead of calling it: the draw
+        sequence stays bit-identical while dropping the sampler's own
+        frames from the per-probe cost, and is pinned against future
+        stdlib implementation changes."""
         keys = self._key_seq
         entries = self._entries
         # ascending positions of the excluded keys actually present
-        positions = sorted(
-            keys.index(k) for k in set(exclude_keys) if k in entries
-        )
+        positions: List[int] = []
+        for k in exclude_keys:
+            if k in entries:
+                p = keys.index(k)
+                if p not in positions:
+                    positions.append(p)
+        if len(positions) > 1:
+            positions.sort()
         n = len(keys) - len(positions)
         if n <= 0:
             return []
@@ -386,14 +442,49 @@ class PeerView:
             dropped = set(positions)
             return [k for i, k in enumerate(keys) if i not in dropped]
         out = []
-        for i in rng.sample(range(n), count):
-            # shift the candidate index past the excluded slots below it
-            for p in positions:
-                if i >= p:
-                    i += 1
-                else:
-                    break
-            out.append(keys[i])
+        # rng is a random.Random (see repro.sim.rng), whose _randbelow
+        # is the getrandbits rejection loop; drawing through
+        # getrandbits directly consumes the identical bit stream while
+        # dropping one Python frame per draw
+        grb = rng.getrandbits
+        setsize = 21  # random.sample's pool/set crossover constant
+        if count > 5:
+            setsize += 4 ** math.ceil(math.log(count * 3, 4))
+        if n <= setsize:
+            pool = list(range(n))
+            for i in range(count):
+                m = n - i
+                bits = m.bit_length()
+                j = grb(bits)
+                while j >= m:
+                    j = grb(bits)
+                pick = pool[j]
+                pool[j] = pool[m - 1]
+                # shift past the excluded slots at or below the pick
+                for p in positions:
+                    if pick >= p:
+                        pick += 1
+                    else:
+                        break
+                out.append(keys[pick])
+        else:
+            selected: set = set()
+            bits = n.bit_length()
+            for i in range(count):
+                j = grb(bits)
+                while j >= n:
+                    j = grb(bits)
+                while j in selected:
+                    j = grb(bits)
+                    while j >= n:
+                        j = grb(bits)
+                selected.add(j)
+                for p in positions:
+                    if j >= p:
+                        j += 1
+                    else:
+                        break
+                out.append(keys[j])
         return out
 
     # ------------------------------------------------------------------

@@ -34,12 +34,14 @@ from typing import Dict, Iterable, Optional
 from repro.advertisement.rdvadv import RdvAdvertisement
 from repro.config import PlatformConfig
 from repro.endpoint.service import (
+    DEFAULT_TTL,
     MESSAGE_HEADER_BYTES,
     EndpointMessage,
     EndpointService,
 )
 from repro.ids.jxtaid import PeerID
 from repro.rendezvous.messages import (
+    _PV_OVERHEAD,
     PeerViewProbe,
     PeerViewReferral,
     PeerViewResponse,
@@ -100,6 +102,17 @@ class PeerViewProtocol(Process):
         self._verify_probe_body = PeerViewProbe(local_adv, want_referral=False)
         self._response_body = PeerViewResponse(local_adv)
         self._update_body = PeerViewUpdate(local_adv)
+        # wire sizes of the shared bodies are as constant as the bodies
+        # themselves (the advertisement caches its XML size on first
+        # use), so the per-send size_bytes() call collapses to an int
+        self._probe_size = MESSAGE_HEADER_BYTES + self._probe_body.size_bytes()
+        self._verify_probe_size = (
+            MESSAGE_HEADER_BYTES + self._verify_probe_body.size_bytes()
+        )
+        self._response_size = (
+            MESSAGE_HEADER_BYTES + self._response_body.size_bytes()
+        )
+        self._update_size = MESSAGE_HEADER_BYTES + self._update_body.size_bytes()
         self._dispatch = {
             PeerViewProbe: self._on_probe,
             PeerViewResponse: self._on_response,
@@ -111,6 +124,16 @@ class PeerViewProtocol(Process):
         # through a listener so upsert/expire stay obs-agnostic
         self._net = endpoint.network
         self._actor = endpoint.transport_address
+        self._clock = endpoint.sim.clock
+        # immutable per-peer facts and hot callables, bound once so the
+        # per-message paths below load one attribute instead of two
+        # (advertised_address is deliberately NOT bound: relay clients
+        # rebind it at runtime)
+        self._peer_id = endpoint.peer_id
+        self._addr = endpoint.transport_address
+        self._entries_get = self.view._entries.get
+        self._schedule = self.sim.schedule
+        self._probe_timeout = config.probe_timeout
         self.view.add_listener(self._on_view_change)
         endpoint.add_listener(PEERVIEW_SERVICE_NAME, group_param, self._on_message)
 
@@ -130,38 +153,46 @@ class PeerViewProtocol(Process):
     # the periodic iteration (Algorithm 1 body)
     # ------------------------------------------------------------------
     def _iteration(self) -> None:
-        now = self.sim.clock._now
-        self.view.expire(now, self.config.pve_expiration)
+        now = self._clock._now
+        config = self.config
+        self.view.expire(now, config.pve_expiration)
         size = self.view.size
-        coin = self._coin
+        happy = config.happy_size
+        # coin.randrange(3) unrolled to its own getrandbits rejection
+        # loop (same bit stream, two frames fewer per neighbour)
+        coin_grb = self._coin.getrandbits
         # the whole iteration works on interned int keys: membership
         # tests and sampling below hash machine ints, and PeerID
         # objects are only materialised inside _probe_peer/_update_peer
         # when a message is actually built
         neighbors = self._neighbor_keys()
         for neighbor in neighbors:
-            if size < self.config.happy_size:
+            if size < happy:
                 self._probe_peer(neighbor)
-            elif coin.randrange(3) == 0:
-                self._update_peer(neighbor)
             else:
-                self._probe_peer(neighbor)
+                flip = coin_grb(2)
+                while flip >= 3:
+                    flip = coin_grb(2)
+                if flip == 0:
+                    self._update_peer(neighbor)
+                else:
+                    self._probe_peer(neighbor)
         # refresh-probe members beyond the neighbours (the traffic the
         # paper's phase-3 analysis refers to: the protocol tries to
         # cover all entries but cannot within PVE_EXPIRATION)
-        if self.config.random_probe_count > 0:
+        if config.random_probe_count > 0:
             # draw-identical to sampling the filtered candidate list
             # (see PeerView.sample_entry_keys) without building it
             for key in self.view.sample_entry_keys(
-                self._randomprobe_rng, self.config.random_probe_count, neighbors
+                self._randomprobe_rng, config.random_probe_count, neighbors
             ):
                 self._probe_peer(key)
         # seeds are always contacted at service start (JXTA-C connects
         # to its seeding rendezvous at boot); afterwards Algorithm 1
         # re-probes them only while the view is below HAPPY_SIZE
-        if size < self.config.happy_size or not self._seeds_contacted:
+        if size < happy or not self._seeds_contacted:
             self._seeds_contacted = True
-            for seed in self.config.seeds:
+            for seed in config.seeds:
                 if seed != self.endpoint.transport_address:
                     self._probe_address(seed)
 
@@ -196,11 +227,13 @@ class PeerViewProtocol(Process):
     # sending
     # ------------------------------------------------------------------
     def _probe_peer(self, key: int) -> None:
-        entry = self.view.get_by_key(key)
-        if entry is not None and entry.adv.route_hint:
-            self._probe_address(
-                entry.adv.route_hint, dst_peer=entry.adv.rdv_peer_id
-            )
+        entry = self._entries_get(key)
+        if entry is None:
+            return
+        adv = entry.adv
+        hint = adv.route_hint
+        if hint:
+            self._probe_address(hint, adv.rdv_peer_id)
 
     def _probe_address(
         self,
@@ -217,20 +250,23 @@ class PeerViewProtocol(Process):
         obs = self._net.obs
         if obs is not None and obs.active:
             obs.event(
-                self.sim.clock._now, "peerview", "probe.sent", self._actor,
+                self._clock._now, "peerview", "probe.sent", self._actor,
                 dst=address, verify=verification,
             )
-        handle = self.sim.schedule(
-            self.config.probe_timeout,
+        handle = self._schedule(
+            self._probe_timeout,
             self._probe_timed_out,
             address,
             label=self._probe_timeout_label,
         )
         self._pending_probes[address] = handle
-        self._send(
-            address, dst_peer,
-            self._verify_probe_body if verification else self._probe_body,
-        )
+        if verification:
+            self._send(
+                address, dst_peer, self._verify_probe_body,
+                self._verify_probe_size,
+            )
+        else:
+            self._send(address, dst_peer, self._probe_body, self._probe_size)
 
     def _probe_timed_out(self, address: str) -> None:
         # The probed peer never answered (dead seed, crashed referral
@@ -239,43 +275,61 @@ class PeerViewProtocol(Process):
         self._pending_probes.pop(address, None)
 
     def _update_peer(self, key: int) -> None:
-        entry = self.view.get_by_key(key)
-        if entry is None or not entry.adv.route_hint:
+        entry = self._entries_get(key)
+        if entry is None:
+            return
+        adv = entry.adv
+        hint = adv.route_hint
+        if not hint:
             return
         self.updates_sent += 1
         obs = self._net.obs
         if obs is not None and obs.active:
             obs.event(
-                self.sim.clock._now, "peerview", "update.sent", self._actor,
-                dst=entry.adv.route_hint,
+                self._clock._now, "peerview", "update.sent", self._actor,
+                dst=hint,
             )
-        self._send(
-            entry.adv.route_hint, entry.adv.rdv_peer_id,
-            self._update_body,
-        )
+        self._send(hint, adv.rdv_peer_id, self._update_body, self._update_size)
 
-    def _send(self, address: str, dst_peer: Optional[PeerID], body) -> None:
+    def _send(
+        self, address: str, dst_peer: Optional[PeerID], body, size: int
+    ) -> None:
         # inlined EndpointService.send_direct (kept there for every
         # other protocol): peerview traffic dominates a full-scale run,
-        # its bodies always implement size_bytes, and its messages
-        # never arrive with origin_address pre-set — so the message is
-        # built complete (positionally: keyword calls cost measurably
-        # more) and handed straight to the network
+        # its body sizes are precomputed, and its messages never arrive
+        # with origin_address pre-set.  The shell comes from the
+        # network's message free list when one is idle — field writes
+        # replace the dataclass __init__ — and is marked recyclable:
+        # peerview receivers never retain the shell (only bodies), so
+        # the pooled delivery path returns it after the callback.
         endpoint = self.endpoint
         endpoint.messages_out += 1
-        endpoint.network.send(
-            endpoint.transport_address,
-            address,
-            EndpointMessage(
-                endpoint.peer_id,
+        net = self._net
+        mpool = net.message_pool
+        if mpool:
+            message = mpool.pop()
+            message.src_peer = self._peer_id
+            message.dst_peer = dst_peer
+            message.service_name = PEERVIEW_SERVICE_NAME
+            message.service_param = self.group_param
+            message.body = body
+            message.origin_address = endpoint.advertised_address
+            message.ttl = DEFAULT_TTL
+            message.hops_taken = 0
+            message.recyclable = True
+        else:
+            message = EndpointMessage(
+                self._peer_id,
                 dst_peer,
                 PEERVIEW_SERVICE_NAME,
                 self.group_param,
                 body,
                 endpoint.advertised_address,
-            ),
-            MESSAGE_HEADER_BYTES + body.size_bytes(),
-        )
+                DEFAULT_TTL,
+                0,
+                True,
+            )
+        net.send(self._addr, address, message, size)
 
     # ------------------------------------------------------------------
     # receiving
@@ -285,31 +339,35 @@ class PeerViewProtocol(Process):
         # chain at ~10 messages per peer per iteration); subclasses of
         # the wire dataclasses do not occur on the wire
         body = message.body
-        handler = self._dispatch.get(type(body))
-        if handler is None:
-            raise TypeError(f"unexpected peerview body: {type(body)!r}")
+        try:
+            handler = self._dispatch[type(body)]
+        except KeyError:
+            raise TypeError(
+                f"unexpected peerview body: {type(body)!r}"
+            ) from None
         handler(body, message)
 
     def _on_probe(self, body: PeerViewProbe, message: EndpointMessage) -> None:
-        now = self.sim.clock._now
-        self._learn(body.rdv_adv, now)
+        now = self._clock._now
+        adv = body.rdv_adv
+        self._learn(adv, now)
         # (1) response with our own advertisement
-        reply_to = body.rdv_adv.route_hint or message.origin_address
+        reply_to = adv.route_hint or message.origin_address
+        prober_id = adv.rdv_peer_id
         self.responses_sent += 1
         obs = self._net.obs
         if obs is not None and obs.active:
             obs.event(now, "peerview", "probe.recv", self._actor, src=reply_to)
             obs.event(now, "peerview", "response.sent", self._actor, dst=reply_to)
         self._send(
-            reply_to, body.rdv_adv.rdv_peer_id,
-            self._response_body,
+            reply_to, prober_id, self._response_body, self._response_size
         )
         # (2) separate referral response with random other entries
         if body.want_referral:
             referrals = self.view.random_referrals(
                 self._referral_rng,
                 self.config.referral_count,
-                exclude=(body.rdv_adv.rdv_peer_id,),
+                exclude=(prober_id,),
             )
             if referrals:
                 self.referrals_sent += 1
@@ -318,31 +376,48 @@ class PeerViewProtocol(Process):
                         now, "peerview", "referral.sent", self._actor,
                         dst=reply_to, count=len(referrals),
                     )
+                # build the adv list and the wire size in one pass,
+                # reading each advertisement's size cache directly
+                # (size_bytes() recomputes and refills it when a field
+                # mutation invalidated the cache)
+                advs = []
+                rsize = MESSAGE_HEADER_BYTES + _PV_OVERHEAD
+                for entry in referrals:
+                    adv_r = entry.adv
+                    advs.append(adv_r)
+                    s = adv_r.__dict__.get("_size_cache")
+                    if s is None:
+                        s = adv_r.size_bytes()
+                    rsize += s
                 self._send(
-                    reply_to, body.rdv_adv.rdv_peer_id,
-                    PeerViewReferral([entry.adv for entry in referrals]),
+                    reply_to, prober_id, PeerViewReferral(advs), rsize
                 )
 
     def _on_response(
         self, body: PeerViewResponse, message: EndpointMessage
     ) -> None:
-        self._clear_pending(body.rdv_adv)
-        now = self.sim.clock._now
+        adv = body.rdv_adv
+        # _clear_pending inlined (kept as a method for on_stop):
+        # responses are the single most common receive at full scale
+        handle = self._pending_probes.pop(adv.route_hint, None)
+        if handle is not None:
+            handle.cancel()
+        now = self._clock._now
         obs = self._net.obs
         if obs is not None and obs.active:
             obs.event(
                 now, "peerview", "response.recv", self._actor,
-                src=body.rdv_adv.route_hint,
+                src=adv.route_hint,
             )
-        self._learn(body.rdv_adv, now)
+        self._learn(adv, now)
 
     def _on_update(self, body: PeerViewUpdate, message: EndpointMessage) -> None:
-        self._learn(body.rdv_adv, self.sim.clock._now)
+        self._learn(body.rdv_adv, self._clock._now)
 
     def _on_referrals(
         self, body: PeerViewReferral, message: EndpointMessage
     ) -> None:
-        now = self.sim.clock._now
+        now = self._clock._now
         obs = self._net.obs
         if obs is not None and obs.active:
             obs.event(
@@ -370,17 +445,57 @@ class PeerViewProtocol(Process):
 
     def _learn(self, adv: RdvAdvertisement, now: float) -> None:
         """Insert/refresh an advertisement received *from the peer it
-        describes* and teach ERP the direct route."""
-        outcome = self.view.upsert(adv, now)
-        if outcome != "self" and adv.route_hint:
-            self.endpoint.router.add_direct_route(adv.rdv_peer_id, adv.route_hint)
+        describes* and teach ERP the direct route.
 
-    def _on_referral(self, adv: RdvAdvertisement, now: float) -> None:
+        The refresh path of ``PeerView.upsert`` and the body of
+        ``EndpointRouter.add_direct_route`` are inlined here (both
+        keep their methods for every other caller): this runs once per
+        probe/response/update received — the bulk of all messages at
+        full scale — and the two frames plus their repeated interning
+        were measurable.  The rare first-sight path falls through to
+        the full ``upsert``."""
         view = self.view
-        key = view.interner.intern(adv.rdv_peer_id)
+        peer_id = adv.rdv_peer_id
+        interner = view.interner
+        try:
+            table, key = peer_id._intern
+            if table is not interner:
+                key = interner.intern(peer_id)
+        except AttributeError:
+            key = interner.intern(peer_id)
         if key == view.local_key:
             return
-        if view.contains_key(key):
+        entry = view._entries.get(key)
+        if entry is not None:
+            entry.adv = adv  # newer advertisement (route may change)
+            entry.last_refreshed = now
+        else:
+            view.add_keyed(key, adv, now)
+        hint = adv.route_hint
+        if hint:
+            routes = self.endpoint.router._routes
+            try:
+                if routes[key] != hint:
+                    routes[key] = hint
+            except KeyError:
+                routes[key] = hint
+
+    def _on_referral(self, adv: RdvAdvertisement, now: float) -> None:
+        # interner fast path unrolled as in _learn: referral bodies
+        # carry several advertisements each, so this runs more often
+        # than any other receive handler
+        view = self.view
+        peer_id = adv.rdv_peer_id
+        interner = view.interner
+        try:
+            table, key = peer_id._intern
+            if table is not interner:
+                key = interner.intern(peer_id)
+        except AttributeError:
+            key = interner.intern(peer_id)
+        if key == view.local_key:
+            return
+        if key in view._entries:
             # hearsay about a peer we already track: a referral is a
             # copy from the referrer's view, not proof of liveness, so
             # it does NOT refresh the entry's expiration clock — only
@@ -390,7 +505,6 @@ class PeerViewProtocol(Process):
             return
         # unknown peer: probe before adding (§3.2); a verification
         # probe, so the cascade stops at the referred peer
-        if adv.route_hint:
-            self._probe_address(
-                adv.route_hint, dst_peer=adv.rdv_peer_id, verification=True
-            )
+        hint = adv.route_hint
+        if hint:
+            self._probe_address(hint, adv.rdv_peer_id, True)

@@ -37,6 +37,22 @@ Design notes
   :meth:`Simulator.reschedule` instead of allocating a fresh one per
   tick — at r = 580 the peerview/SRDI/lease tick storm is millions of
   avoided allocations over a paper-scale run.
+* One-shot event plumbing is pooled: :meth:`Simulator.acquire_handle`
+  hands out a *fired* handle from a per-simulator free list and
+  :meth:`Simulator.release_handle` returns it after the firing, so a
+  steady-state message send (the transport's deliver timer) re-arms a
+  recycled handle via ``reschedule`` instead of allocating.  Pool
+  integrity checks (double release, re-arm of a pool-resident handle)
+  are compiled in behind ``REPRO_POOL_DEBUG=1``.
+* When a wheel slot migrates inward, its survivors are *sorted once*
+  into a batch list (``_batch``) instead of heapified into the active
+  queue: the run loops then merge the batch cursor against the heap
+  head with a single C tuple compare per event, so the heap only ever
+  holds events scheduled *into* the current window and the common
+  case — a cohort of protocol timers sharing a slot — dispatches with
+  no per-event sift at all.  ``(time, seq)`` keys are unique, so the
+  merge reproduces the exact global fire order of the pure-heap
+  scheduler, bit for bit.
 * Live-event accounting is O(1): ``pending_events`` is derived from
   the scheduled/fired/cancelled counters instead of scanning tiers.
 * ``schedule`` and the ``run`` loop are deliberately inlined (no
@@ -84,6 +100,11 @@ _WHEEL_SPAN = _WHEEL_SLOTS * _WHEEL_WIDTH  # 64 s horizon
 
 #: Recognised scheduler implementations (``REPRO_SCHEDULER``).
 SCHEDULERS = ("wheel", "heap")
+
+#: Handle free-list cap: beyond this the pool stops growing and extra
+#: releases fall to the garbage collector.  Steady-state in-flight
+#: message counts sit far below this even at r = 1160.
+_HANDLE_POOL_MAX = 8192
 
 #: Pending handles with no owning simulator (direct construction)
 #: carry this sentinel in ``_state`` instead of a Simulator.
@@ -198,9 +219,11 @@ class Simulator:
         "_queue", "_seq", "_events_fired", "_cancelled", "_dead",
         "_use_wheel", "_wheel", "_wheel_count", "_overflow",
         "_next_slot", "_win_end", "_wheel_limit",
+        "_batch", "_batch_pos",
         "_max_events", "_running", "_stop_requested", "_stash",
         "_in_fast_loop",
         "_trace_hooks", "_fire_hooks", "_done_hooks", "_hooks_active",
+        "_handle_pool", "_pool_debug", "_pool_ids",
     )
 
     def __init__(
@@ -250,6 +273,16 @@ class Simulator:
             self._next_slot = 0
             self._win_end = float("inf")
             self._wheel_limit = float("inf")
+        #: migrated wheel slot, sorted ascending; the run loops merge
+        #: ``_batch[_batch_pos:]`` against the active heap by a single
+        #: tuple compare per event (empty under the heap scheduler)
+        self._batch: list = []
+        self._batch_pos = 0
+        #: free list of *fired* handles for acquire/release recycling
+        self._handle_pool: list[EventHandle] = []
+        self._pool_debug = os.environ.get("REPRO_POOL_DEBUG", "") == "1"
+        #: ids of pool-resident handles (REPRO_POOL_DEBUG=1 only)
+        self._pool_ids: set[int] = set()
         self._max_events = max_events
         self._running = False
         self._stop_requested = False
@@ -294,6 +327,7 @@ class Simulator:
         tiers (active queue, parked stash, wheel buckets, overflow).
         Diagnostics/test helper — never on a hot path."""
         yield from self._queue
+        yield from self._batch[self._batch_pos:]
         if self._stash is not None:
             yield from self._stash
         for bucket in self._wheel:
@@ -453,12 +487,120 @@ class Simulator:
                 "only a fired handle can be re-armed; schedule() a new "
                 "one for pending or cancelled timers"
             )
+        if self._pool_debug and id(handle) in self._pool_ids:
+            raise SchedulingError(
+                "re-arming a handle that is resident in the free list "
+                "(use after release_handle)"
+            )
         time = self.clock._now + delay
         seq = self._seq
         self._seq = seq + 1
         handle._state = self
-        self._push_entry((time, seq, handle, fn, args))
+        # tier routing inlined: with pooled transport sends this joins
+        # schedule() as the hottest entry point in a paper-scale run
+        if time < self._win_end:
+            _heappush(self._queue, (time, seq, handle, fn, args))
+        elif time < self._wheel_limit:
+            self._wheel[int(time * _INV_WIDTH) & _WHEEL_MASK].append(
+                (time, seq, handle, fn, args)
+            )
+            self._wheel_count += 1
+        else:
+            _heappush(self._overflow, (time, seq, handle, fn, args))
         return handle
+
+    def schedule_recycled(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        a: Any,
+        b: Any,
+        label: str = "",
+    ) -> EventHandle:
+        """Fused :meth:`acquire_handle` + :meth:`reschedule` for the
+        per-message delivery timer: schedule ``fn(a, b, handle)``
+        ``delay`` seconds from now on a recycled fired handle.
+
+        The handle rides along as the trailing callback argument so
+        the callee can release it; collapsing the acquire/re-arm pair
+        into one call removes a Python frame from every pooled
+        transport send."""
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule in the past (delay={delay})")
+        pool = self._handle_pool
+        if pool:
+            handle = pool.pop()
+            if self._pool_debug:
+                self._pool_ids.discard(id(handle))
+        else:
+            handle = _new_handle(EventHandle)
+        handle._label = label
+        time = self.clock._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        handle._state = self
+        args = (a, b, handle)
+        if time < self._win_end:
+            _heappush(self._queue, (time, seq, handle, fn, args))
+        elif time < self._wheel_limit:
+            self._wheel[int(time * _INV_WIDTH) & _WHEEL_MASK].append(
+                (time, seq, handle, fn, args)
+            )
+            self._wheel_count += 1
+        else:
+            _heappush(self._overflow, (time, seq, handle, fn, args))
+        return handle
+
+    # ------------------------------------------------------------------
+    # handle free list
+    # ------------------------------------------------------------------
+    def acquire_handle(self, label: str = "") -> EventHandle:
+        """Take a *fired* handle off the free list (or build a fresh
+        one) for use with :meth:`reschedule`.
+
+        The acquire/reschedule/:meth:`release_handle` cycle lets a hot
+        caller — the network transport scheduling one delivery per
+        message — run allocation-free in steady state: the same handle
+        objects circulate between the pool and the scheduler.  The
+        handle's trace label is (re)set here, so recycled handles are
+        indistinguishable from fresh ones in kernel traces."""
+        pool = self._handle_pool
+        if pool:
+            handle = pool.pop()
+            if self._pool_debug:
+                self._pool_ids.discard(id(handle))
+            handle._label = label
+            return handle
+        handle = _new_handle(EventHandle)
+        handle._label = label
+        handle._state = False
+        return handle
+
+    def release_handle(self, handle: EventHandle) -> None:
+        """Return a *fired* handle to the free list.
+
+        Only fired handles are poolable: a pending handle still has a
+        live scheduler entry and a cancelled one may have a tombstone
+        resident in a tier — recycling either would let one handle
+        stand behind two entries.  The caller must not touch the
+        handle after releasing it; ``REPRO_POOL_DEBUG=1`` turns a
+        double release (and a ``reschedule`` of a pool-resident
+        handle) into an immediate :class:`SchedulingError`."""
+        if handle._state is not False:
+            raise SchedulingError(
+                "only a fired handle can be released to the pool"
+            )
+        pool = self._handle_pool
+        if self._pool_debug:
+            hid = id(handle)
+            if hid in self._pool_ids:
+                raise SchedulingError(
+                    f"double release of pooled handle {handle!r}"
+                )
+            if len(pool) < _HANDLE_POOL_MAX:
+                self._pool_ids.add(hid)
+        if len(pool) < _HANDLE_POOL_MAX:
+            pool.append(handle)
 
     def _push_entry(self, entry: tuple) -> None:
         """Route one entry to the tier covering its fire time."""
@@ -477,23 +619,34 @@ class Simulator:
     def _refill(self) -> bool:
         """Slide the active window forward until it holds the next
         pending events (or every tier is empty).  Returns True when
-        ``_queue`` is non-empty afterwards.
+        events are available in the active window afterwards.
 
-        Invariants: the active queue holds exactly the entries with
-        ``time < _win_end``; wheel buckets cover
-        ``[_win_end, _wheel_limit)``; the overflow heap holds the rest.
-        Each step advances the window one slot: tombstones filtered
-        (this is where cancelled wheel timers die, with no compaction
-        pass), survivors heapified, and overflow entries whose time
-        dropped below the horizon dealt into their buckets."""
+        Invariants: the active queue plus the batch remnant hold
+        exactly the entries with ``time < _win_end``; wheel buckets
+        cover ``[_win_end, _wheel_limit)``; the overflow heap holds the
+        rest.  Each step advances the window one slot: tombstones
+        filtered (this is where cancelled wheel timers die, with no
+        compaction pass), survivors *sorted once* into the batch list
+        — ``(time, seq)`` keys are unique, so a sort dispatches the
+        slot cohort in the same order heapify + N heappops would, at a
+        fraction of the compare count — and overflow entries whose
+        time dropped below the horizon dealt into their buckets."""
         queue = self._queue
         if queue:
             return True
+        batch = self._batch
+        if self._batch_pos < len(batch):
+            return True
+        if batch:
+            # previous batch fully consumed: recycle the list in place
+            # (the run loops hold a reference to it)
+            del batch[:]
+            self._batch_pos = 0
         if not self._use_wheel:
             return False
         wheel = self._wheel
         overflow = self._overflow
-        while not queue:
+        while True:
             if self._wheel_count == 0:
                 if not overflow:
                     return False
@@ -511,7 +664,7 @@ class Simulator:
                 entry = _heappop(overflow)
                 wheel[int(entry[0] * _INV_WIDTH) & _WHEEL_MASK].append(entry)
                 self._wheel_count += 1
-            # migrate the next slot into the active queue
+            # migrate the next slot into the batch
             bucket = wheel[self._next_slot & _WHEEL_MASK]
             self._next_slot += 1
             self._win_end = self._next_slot * _WHEEL_WIDTH
@@ -523,9 +676,10 @@ class Simulator:
                 self._wheel_count -= total
                 self._dead -= total - len(live)
                 if live:
-                    queue[:] = live
-                    _heapify(queue)
-        return True
+                    live.sort()
+                    batch[:] = live
+                    self._batch_pos = 0
+                    return True
 
     # ------------------------------------------------------------------
     # cancellation bookkeeping & compaction
@@ -552,25 +706,37 @@ class Simulator:
             self._park()
 
     def _park(self) -> None:
-        """Move the active queue aside so the hot loops' bare
-        ``while queue`` condition fails after the current event.  The
-        wheel tiers are untouched: the loops never consume them
-        directly, so parking the queue alone stops the run."""
-        if self._stash is None and self._queue:
-            self._stash = self._queue[:]
+        """Move the active window (queue + batch remnant) aside so the
+        hot loops' exhaustion tests fail after the current event.  The
+        batch list is cleared *in place* — the loops hold a reference
+        to it and re-read its length per event.  The wheel tiers are
+        untouched: the loops never consume them directly, so parking
+        the window alone stops the run."""
+        if self._stash is not None:
+            return
+        batch = self._batch
+        remnant = batch[self._batch_pos:]
+        if self._queue or remnant:
+            self._stash = self._queue + remnant
             self._queue.clear()
+            if batch:
+                del batch[:]
+                self._batch_pos = 0
 
     def _unpark(self) -> None:
         """Restore parked entries (merging any scheduled since — the
-        total (time, seq) order makes the fire order identical)."""
+        total (time, seq) order makes the fire order identical).  The
+        stash is a heap snapshot plus a sorted batch remnant, so it is
+        re-heapified unconditionally; batch entries re-enter the heap
+        legally because their times precede ``_win_end``."""
         stash = self._stash
         if stash is not None:
             queue = self._queue
             if queue:
                 queue.extend(stash)
-                _heapify(queue)
             else:
                 queue[:] = stash
+            _heapify(queue)
             self._stash = None
 
     def _compact(self) -> None:
@@ -582,6 +748,15 @@ class Simulator:
         queue = self._queue
         queue[:] = [entry for entry in queue if entry[2]._state is not None]
         _heapify(queue)
+        batch = self._batch
+        pos = self._batch_pos
+        if pos < len(batch):
+            # filter the unconsumed tail in place: the cursor and the
+            # consumed prefix stay put, so a run loop mid-batch just
+            # sees a shorter (still sorted) remainder
+            batch[pos:] = [
+                e for e in batch[pos:] if e[2]._state is not None
+            ]
         if self._use_wheel:
             removed = 0
             for bucket in self._wheel:
@@ -632,16 +807,27 @@ class Simulator:
         """Execute the next pending event.  Returns False if no events
         remain in any tier."""
         queue = self._queue
+        batch = self._batch
         while True:
-            while queue:
-                t, _, handle, fn, args = _heappop(queue)
-                if handle._state is None:
-                    self._dead -= 1
-                    continue
-                self._fire(t, handle, fn, args)
-                return True
-            if not self._refill():
-                return False
+            bpos = self._batch_pos
+            if bpos < len(batch):
+                entry = batch[bpos]
+                if queue and queue[0] < entry:
+                    entry = _heappop(queue)
+                else:
+                    self._batch_pos = bpos + 1
+            elif queue:
+                entry = _heappop(queue)
+            else:
+                if not self._refill():
+                    return False
+                continue
+            t, _, handle, fn, args = entry
+            if handle._state is None:
+                self._dead -= 1
+                continue
+            self._fire(t, handle, fn, args)
+            return True
 
     def run(self, until: Optional[float] = None) -> None:
         """Run events until the queue drains or simulated ``until`` is
@@ -659,6 +845,7 @@ class Simulator:
         # and the hook lists are re-read every iteration because callbacks
         # may call ``stop`` or add/remove hooks mid-run.
         queue = self._queue
+        batch = self._batch
         clock = self.clock
         pop = _heappop
         max_events = self._max_events
@@ -685,39 +872,73 @@ class Simulator:
                         self._hooks_active or self._dead
                     ):
                         # fast loop: nothing queued is cancelled, no
-                        # hooks, no event limit — just pop and call.
+                        # hooks, no event limit — merge the sorted
+                        # batch cursor against the heap head and call.
                         # Any of those appearing mid-run parks the
-                        # queue and bounces us back to the dispatcher.
+                        # window (clearing the batch list in place, so
+                        # the re-read length below goes to zero) and
+                        # bounces us back to the dispatcher.
                         self._in_fast_loop = True
                         try:
-                            while queue:
-                                t, _, handle, fn, args = pop(queue)
-                                # pops are nondecreasing in time, so
+                            pos = self._batch_pos
+                            nbatch = len(batch)
+                            while True:
+                                if pos < nbatch:
+                                    entry = batch[pos]
+                                    if queue and queue[0] < entry:
+                                        entry = pop(queue)
+                                    else:
+                                        pos += 1
+                                        self._batch_pos = pos
+                                elif queue:
+                                    entry = pop(queue)
+                                else:
+                                    break
+                                t, _, handle, fn, args = entry
+                                # takes are nondecreasing in time, so
                                 # this never moves the clock backwards
                                 clock._now = t
                                 handle._state = False
                                 fn(*args)
+                                nbatch = len(batch)
                         finally:
                             self._in_fast_loop = False
                             # fired count reconstructed from the O(1)
                             # accounting identity instead of a per-event
                             # increment: every event ever scheduled was
                             # fired unless cancelled or still resident
-                            # in a tier (active queue, parked stash,
-                            # wheel bucket or overflow heap — where
-                            # ``_dead`` entries don't count as live).
-                            # Exact at any instant, including mid-loop
-                            # exceptions.
+                            # in a tier (active queue, batch remnant,
+                            # parked stash, wheel bucket or overflow
+                            # heap — where ``_dead`` entries don't
+                            # count as live).  Exact at any instant,
+                            # including mid-loop exceptions.
                             stash = self._stash
                             fired = (
                                 self._seq - self._cancelled - len(queue)
+                                - (len(batch) - self._batch_pos)
                                 - (len(stash) if stash is not None else 0)
                                 - self._wheel_count - len(self._overflow)
                                 + self._dead
                             )
                     else:
-                        while queue:
-                            t, _, handle, fn, args = pop(queue)
+                        # careful loop: same batch/heap merge, with
+                        # tombstone skips, the event limit and hook
+                        # delivery.  The batch cursor is re-read every
+                        # iteration because a callback may park (stop,
+                        # hook changes) or compact mid-batch.
+                        while True:
+                            bpos = self._batch_pos
+                            if bpos < len(batch):
+                                entry = batch[bpos]
+                                if queue and queue[0] < entry:
+                                    entry = pop(queue)
+                                else:
+                                    self._batch_pos = bpos + 1
+                            elif queue:
+                                entry = pop(queue)
+                            else:
+                                break
+                            t, _, handle, fn, args = entry
                             if handle._state is None:
                                 self._dead -= 1
                                 continue
@@ -748,47 +969,63 @@ class Simulator:
                         continue
                     if not self._refill():
                         return
-            # deadline variant: peek before popping so an event beyond
-            # ``until`` stays queued for the next slice
+            # deadline variant: peek (batch cursor vs heap head) before
+            # taking, so an event beyond ``until`` stays queued — or
+            # parked at the batch cursor — for the next slice
             while True:
-                while queue:
+                bpos = self._batch_pos
+                if bpos < len(batch):
+                    entry = batch[bpos]
+                    from_batch = True
+                    if queue:
+                        head = queue[0]
+                        if head < entry:
+                            entry = head
+                            from_batch = False
+                elif queue:
                     entry = queue[0]
-                    handle = entry[2]
-                    if handle._state is None:
-                        pop(queue)
-                        self._dead -= 1
-                        continue
-                    t = entry[0]
-                    if t > until:
-                        break
-                    pop(queue)
-                    clock._now = t
-                    handle._state = False
-                    fired += 1
-                    if fired > limit:
-                        raise SimulationLimitExceeded(
-                            f"exceeded max_events={max_events}"
-                        )
-                    fn = entry[3]
-                    args = entry[4]
-                    if self._hooks_active:
-                        self._events_fired = fired
-                        for hook in self._fire_hooks:
-                            hook(t, "fire", handle)
-                        fn(*args)
-                        now = clock._now
-                        for hook in self._done_hooks:
-                            hook(now, "done", handle)
-                    else:
-                        fn(*args)
+                    from_batch = False
                 else:
-                    # queue drained inside the deadline: pull the next
-                    # window in (it may hold events at or before
+                    # window drained inside the deadline: pull the next
+                    # one in (it may hold events at or before
                     # ``until``) and go around
                     if self._refill():
                         continue
                     break
-                break  # head of queue is beyond ``until``
+                handle = entry[2]
+                if handle._state is None:
+                    if from_batch:
+                        self._batch_pos = bpos + 1
+                    else:
+                        pop(queue)
+                    self._dead -= 1
+                    continue
+                t = entry[0]
+                if t > until:
+                    break  # next event is beyond ``until``
+                if from_batch:
+                    self._batch_pos = bpos + 1
+                else:
+                    pop(queue)
+                clock._now = t
+                handle._state = False
+                fired += 1
+                if fired > limit:
+                    raise SimulationLimitExceeded(
+                        f"exceeded max_events={max_events}"
+                    )
+                fn = entry[3]
+                args = entry[4]
+                if self._hooks_active:
+                    self._events_fired = fired
+                    for hook in self._fire_hooks:
+                        hook(t, "fire", handle)
+                    fn(*args)
+                    now = clock._now
+                    for hook in self._done_hooks:
+                        hook(now, "done", handle)
+                else:
+                    fn(*args)
             if clock._now < until:
                 clock._advance_to(until)
         finally:
