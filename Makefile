@@ -4,7 +4,7 @@ PYTHON ?= python
 # worker pool width for campaign sweeps (make experiments JOBS=8)
 JOBS ?= $(shell $(PYTHON) -c "import os; print(os.cpu_count() or 1)")
 
-.PHONY: install test smoke-faults smoke-campaign bench profile examples experiments experiments-full clean
+.PHONY: install test smoke-faults smoke-campaign smoke-load bench profile examples experiments experiments-full load-full clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,6 +21,12 @@ smoke-faults:
 # kill-mid-flight + --resume, >= 2x speedup at --jobs 4 (needs 4 CPUs)
 smoke-campaign:
 	$(PYTHON) scripts/campaign_smoke.py
+
+# workload subsystem acceptance checks: 40-rdv load run with SLO
+# assertions, wheel/heap byte-identity, record/replay oracle, and
+# sweep --jobs parallel determinism (see docs/WORKLOADS.md)
+smoke-load:
+	$(PYTHON) scripts/load_smoke.py
 
 # Runs the kernel/protocol benchmarks and appends the numbers to the
 # committed trajectory (BENCH_kernel.json).  Override BENCH_LABEL to
@@ -66,6 +72,11 @@ experiments:
 experiments-full:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli sweep all --full \
 		--jobs $(JOBS) --out results
+
+# the acceptance-floor load run: >= 100k open-loop requests at r = 150
+# with p50/p95/p99 + timeout-rate reporting (minutes of wall clock)
+load-full:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli load --full
 
 clean:
 	rm -rf .pytest_cache .benchmarks results-ci campaign-runs

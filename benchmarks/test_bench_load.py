@@ -1,0 +1,45 @@
+"""Bench: the repro.workload load generator (``jxta-repro load``).
+
+A CI-sized open-loop run — Zipf catalog, Poisson arrivals, SLO
+tracking and trace recording all on — so the benchmark times the whole
+workload path, not just the overlay.  Asserts the SLO contract the
+load experiment reports on:
+
+* the run sustains its offered load (every scheduled request resolves
+  as ok/timeout/failure — open-loop conservation);
+* discovery latency stays in the consistent-peerview regime (the
+  paper's low tens of milliseconds at small r);
+* timeouts are rare on a static overlay;
+* the canonical trace digest is reproducible (the record/replay
+  oracle's cheap half).
+"""
+
+from repro.experiments import load_exp
+
+
+def test_load_run_slo(run_once, capsys):
+    spec = load_exp.ci_spec()
+    run = run_once(
+        load_exp.run_load, spec, r=load_exp.CI_R, seed=1, record=True
+    )
+    with capsys.disabled():
+        print()
+        print(load_exp.render(run))
+
+    snap = run.snapshot()
+    query = snap["load.query"]
+
+    # open-loop conservation: every issued request resolved
+    assert query["requests"] == query["ok"] + query["timeout"] + query["failure"]
+    assert query["requests"] > 400  # ~6 queriers x 2/s x 60s
+
+    # static overlay, consistent peerviews: fast and reliable
+    assert query["p50_ms"] < 60.0
+    assert query["p99_ms"] < 200.0
+    assert query["timeout_rate"] < 0.05
+    assert query["failure_rate"] == 0.0
+
+    # the trace is complete and its digest reproducible
+    assert len(run.recorder) >= 2 * query["requests"]
+    again = load_exp.run_load(spec, r=load_exp.CI_R, seed=1, record=True)
+    assert again.digest() == run.digest()

@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""CI acceptance harness for the repro.workload load subsystem.
+
+Runs a small (40-rendezvous) open-loop load and asserts the headline
+guarantees end to end:
+
+1. **SLO sanity** — the run sustains its offered load: every request
+   resolves, quantiles are reported, timeouts stay rare on a static
+   overlay.
+2. **Scheduler matrix** — ``REPRO_SCHEDULER=wheel`` and ``heap``
+   produce byte-identical canonical traces and SLO snapshots.
+3. **Record/replay oracle** — re-driving the recorded trace on a fresh
+   deployment reproduces trace bytes and SLO snapshot exactly, under
+   both schedulers.
+4. **Sweep parallelism** — ``jxta-repro sweep load --jobs 1`` and
+   ``--jobs 2`` write byte-identical aggregates.
+
+Exit code 0 on success; any violated guarantee raises.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+R = 40
+SEED = 1
+SCHEDULERS = ("wheel", "heap")
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{REPO / 'src'}" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def _spec():
+    from repro.experiments.load_exp import ci_spec
+
+    return ci_spec(duration=30.0, queriers=8, publishers=2,
+                   catalog={"popularity": "zipf", "size": 150, "skew": 1.0})
+
+
+def _snap_sha(run) -> str:
+    blob = json.dumps(run.snapshot(), sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _run_one(scheduler: str):
+    """One recorded load run under the given scheduler (in-process;
+    the Simulator reads REPRO_SCHEDULER at construction)."""
+    from repro.experiments.load_exp import run_load
+
+    os.environ["REPRO_SCHEDULER"] = scheduler
+    return run_load(_spec(), r=R, seed=SEED, record=True)
+
+
+def check_slo(run) -> None:
+    from repro.workload.slo import render_slo
+
+    snap = run.snapshot()
+    query = snap["load.query"]
+    assert query["requests"] > 150, f"too little load: {query['requests']}"
+    assert query["requests"] == (
+        query["ok"] + query["timeout"] + query["failure"]
+    ), "open-loop conservation violated"
+    assert "p50_ms" in query and "p99_ms" in query, "quantiles missing"
+    assert query["timeout_rate"] < 0.05, (
+        f"timeout rate {query['timeout_rate']:.2%} on a static overlay"
+    )
+    assert query["failure_rate"] == 0.0
+    print(render_slo(snap))
+    print(f"load-smoke: SLO ok — {query['requests']} queries, "
+          f"p99 {query['p99_ms']:.1f} ms, "
+          f"timeouts {query['timeout_rate']:.2%}")
+
+
+def check_scheduler_matrix() -> dict:
+    runs = {}
+    for scheduler in SCHEDULERS:
+        run = _run_one(scheduler)
+        runs[scheduler] = (run, run.digest(), _snap_sha(run))
+        print(f"load-smoke: {scheduler}: trace {run.digest()[:12]}… "
+              f"slo {_snap_sha(run)[:12]}…")
+    digests = {d for _, d, _ in runs.values()}
+    slo_shas = {s for _, _, s in runs.values()}
+    assert len(digests) == 1, f"trace bytes differ across schedulers: {digests}"
+    assert len(slo_shas) == 1, f"SLO snapshots differ across schedulers: {slo_shas}"
+    print("load-smoke: wheel == heap byte-identical")
+    return runs
+
+
+def check_replay(runs: dict) -> None:
+    from repro.experiments.load_exp import replay_load
+    from repro.workload.trace import load_trace_lines, replay_ops
+
+    original, orig_digest, orig_slo = runs[SCHEDULERS[0]]
+    with tempfile.TemporaryDirectory() as tmp:
+        path = original.recorder.write(Path(tmp) / "trace.jsonl")
+        ops = replay_ops(load_trace_lines(path))
+    for scheduler in SCHEDULERS:
+        os.environ["REPRO_SCHEDULER"] = scheduler
+        replayed = replay_load(_spec(), r=R, ops=ops, seed=SEED)
+        assert replayed.digest() == orig_digest, (
+            f"replay trace bytes diverged under {scheduler}"
+        )
+        assert _snap_sha(replayed) == orig_slo, (
+            f"replay SLO snapshot diverged under {scheduler}"
+        )
+        print(f"load-smoke: replay under {scheduler} reproduces the "
+              "original run byte-for-byte")
+
+
+def check_sweep_parallelism() -> None:
+    aggregates = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for jobs in (1, 2):
+            out = Path(tmp) / f"jobs{jobs}"
+            subprocess.run(
+                [sys.executable, "-m", "repro.experiments.cli", "sweep",
+                 "load", "--jobs", str(jobs), "--out", str(out), "--quiet"],
+                env=_env(), check=True, cwd=REPO,
+            )
+            aggregates[jobs] = (out / "load-aggregate.json").read_bytes()
+    assert aggregates[1] == aggregates[2], (
+        "sweep load aggregates differ between --jobs 1 and --jobs 2"
+    )
+    print("load-smoke: sweep --jobs 1 == --jobs 2 byte-identical")
+
+
+def main() -> int:
+    runs = check_scheduler_matrix()
+    check_slo(runs[SCHEDULERS[0]][0])
+    check_replay(runs)
+    check_sweep_parallelism()
+    print("load-smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

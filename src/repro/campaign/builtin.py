@@ -9,6 +9,9 @@ paper's sweeps as a grid of independent tasks:
   job (kill/resume + jobs-speedup checks);
 * ``ablation`` — the PVE_EXPIRATION × PEERVIEW_INTERVAL grid (§4.1);
 * ``churn`` — the discovery-under-volatility session-length matrix;
+* ``load`` — the workload grid (arrival rate × popularity skew × r)
+  over :mod:`repro.workload` open-loop clients, reporting the query
+  SLO per cell;
 * ``all`` — every experiment module as one task each (what
   ``make experiments[-full]`` runs).
 
@@ -105,6 +108,48 @@ def churn_campaign(
     )
 
 
+def load_campaign(
+    full: bool = False, seeds: int = 1, base_seed: int = 1,
+    out: Optional[str] = None,
+) -> CampaignSpec:
+    if full:
+        grid = {
+            "rate": [2.0, 5.0, 10.0],
+            "skew": [0.0, 1.0],
+            "r": [50, 150],
+            "seed": _seed_axis(seeds, base_seed),
+        }
+        base = {
+            "duration": 5 * MINUTES,
+            "warmup": 10 * MINUTES,
+            "queriers": 20,
+            "publishers": 2,
+            "catalog_size": 500,
+        }
+    else:
+        grid = {
+            "rate": [1.0, 3.0],
+            "skew": [0.0, 1.0],
+            "r": [8, 16],
+            "seed": _seed_axis(seeds, base_seed),
+        }
+        base = {
+            "duration": 30.0,
+            "warmup": 5 * MINUTES,
+            "queriers": 6,
+            "publishers": 2,
+            "catalog_size": 120,
+        }
+    return CampaignSpec(
+        name="load",
+        task_type="load",
+        grid=grid,
+        base=base,
+        description="workload SLO grid: arrival rate x popularity skew x "
+        "overlay size (repro.workload open-loop clients)",
+    )
+
+
 def all_experiments_campaign(
     full: bool = False, seeds: int = 1, base_seed: int = 1,
     out: Optional[str] = None,
@@ -132,6 +177,7 @@ CAMPAIGNS: Dict[str, Callable[..., CampaignSpec]] = {
     "fig3-smoke": fig3_smoke_campaign,
     "ablation": ablation_campaign,
     "churn": churn_campaign,
+    "load": load_campaign,
     "all": all_experiments_campaign,
 }
 

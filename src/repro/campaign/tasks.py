@@ -19,6 +19,11 @@ Built-in task types:
     .EXPERIMENTS` — the unit behind ``jxta-repro sweep all`` and the
     ``make experiments[-full]`` targets.  Rendered stdout and CSV/JSON
     artefacts are written under ``params["out"]``.
+``load``
+    One :mod:`repro.workload` run (the rate × skew × r grid of the
+    ``load`` campaign): open-loop clients against an r-rendezvous
+    overlay, reporting the query SLO (p50/p95/p99, timeout rate) plus
+    the canonical trace digest.
 """
 
 from __future__ import annotations
@@ -128,6 +133,58 @@ def churn_point(params: Dict[str, Any]) -> Dict[str, Any]:
         seed=int(params.get("seed", 1)),
     )
     return dataclasses.asdict(point)
+
+
+@register_task("load")
+def load_point(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One workload run on one overlay configuration.  Returns the
+    query-operation SLO as flat scalars (what the cross-seed aggregator
+    consumes) plus the trace digest (a string, skipped by aggregation
+    but persisted for byte-identity checks)."""
+    from repro.experiments.load_exp import run_load
+    from repro.workload import WorkloadSpec
+
+    r = int(params.get("r", 12))
+    rate = float(params.get("rate", 2.0))
+    skew = float(params.get("skew", 1.0))
+    seed = int(params.get("seed", 1))
+    spec = WorkloadSpec(
+        name="load",
+        duration=float(params.get("duration", 60.0)),
+        warmup=float(params.get("warmup", 5 * MINUTES)),
+        catalog={
+            "popularity": "zipf" if skew > 0 else "uniform",
+            "size": int(params.get("catalog_size", 120)),
+            "skew": skew,
+        },
+        arrivals={
+            "kind": params.get("arrivals", "poisson"),
+            "rate": rate,
+        },
+        queriers=int(params.get("queriers", 6)),
+        publishers=int(params.get("publishers", 2)),
+        closed_clients=int(params.get("closed_clients", 0)),
+        timeout=float(params.get("timeout", 10.0)),
+    )
+    run = run_load(spec, r=r, seed=seed, record=True)
+    snapshot = run.snapshot()
+    query = snapshot.get("load.query", {})
+    return {
+        "r": r,
+        "rate": rate,
+        "skew": skew,
+        "requests": run.slo.total_requests(),
+        "query_requests": query.get("requests", 0),
+        "qps": query.get("requests", 0) / spec.duration,
+        "mean_ms": query.get("mean_ms", 0.0),
+        "p50_ms": query.get("p50_ms", 0.0),
+        "p95_ms": query.get("p95_ms", 0.0),
+        "p99_ms": query.get("p99_ms", 0.0),
+        "timeout_rate": query.get("timeout_rate", 0.0),
+        "failure_rate": query.get("failure_rate", 0.0),
+        "trace_ops": len(run.recorder),
+        "trace_digest": run.digest(),
+    }
 
 
 @register_task("experiment")

@@ -14,6 +14,7 @@ churn_exp §5 future work: discovery under volatility
 complex_queries §5 future work: wildcard and range lookups
 faults_exp §5 future work: fault matrix + invariant checking
 
+load_exp  workload-driven SLO runs (repro.workload load generator)
 transport_exp Figure 1's transports: TCP vs HTTP relay
 calibration_exp DESIGN §5b constants, ablated
 ========  ====================================================

@@ -33,6 +33,7 @@ from repro.experiments import (
     fig3_right,
     fig4_left,
     fig4_right,
+    load_exp,
     table1,
     transport_exp,
 )
@@ -48,6 +49,7 @@ EXPERIMENTS = {
     "churn": churn_exp.main,
     "complex-queries": complex_queries.main,
     "faults": faults_exp.main,
+    "load": load_exp.main,
     "transport": transport_exp.main,
     "calibration": calibration_exp.main,
 }

@@ -23,7 +23,6 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.advertisement.peeradv import PeerAdvertisement
-from repro.advertisement.testadv import FakeAdvertisement
 from repro.config import PlatformConfig
 from repro.deploy import OverlayDescription, build_overlay
 from repro.experiments.common import (
@@ -35,6 +34,7 @@ from repro.experiments.common import (
 from repro.metrics import render_table
 from repro.network import Network
 from repro.sim import HOURS, MINUTES, Simulator
+from repro.workload import noiser_catalog, publish_catalog
 
 #: r values of the paper's sweep (x axis 0..200).
 PAPER_R_VALUES: tuple = (5, 25, 50, 100, 150, 200)
@@ -107,14 +107,17 @@ def run_point(
     publisher, searcher = overlay.edges[0], overlay.edges[1]
     noiser_edges = overlay.edges[2:]
 
-    # let leases establish, then generate the noise workload
+    # let leases establish, then generate the noise workload: the
+    # configuration-B fake-advertisement catalog, burst-published over
+    # the noisers (byte-identical to the old inline loop — pinned by
+    # tests/test_workload_equivalence.py)
     sim.run(until=2 * MINUTES)
-    for i, noiser in enumerate(noiser_edges):
-        for j in range(fakes_per_noiser):
-            noiser.discovery.publish(
-                FakeAdvertisement(f"fake-{i}-{j}", payload="x" * 64),
-                expiration=12 * HOURS,
-            )
+    if noiser_edges:
+        publish_catalog(
+            noiser_edges,
+            noiser_catalog(len(noiser_edges), fakes_per_noiser),
+            expiration=12 * HOURS,
+        )
     # the paper's searched resource: a peer advertisement, index
     # attribute Name, value Test (§3.3's worked example)
     publisher.discovery.publish(

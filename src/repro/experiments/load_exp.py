@@ -1,0 +1,253 @@
+"""``jxta-repro load``: workload-driven SLO runs on a deployed overlay.
+
+Where the figure experiments measure one probe stream against a quiet
+overlay, this experiment drives a *population* of open-loop clients
+(:mod:`repro.workload`) against an r-rendezvous overlay and reports
+the service-level view: p50/p95/p99 discovery latency, timeout and
+failure rates per (workload, operation).
+
+The paper's scalability story (§4.2) is about how discovery behaves as
+the overlay and the advertisement population grow; the load experiment
+extends that axis with *offered traffic* — arrival rate, popularity
+skew — the way the follow-on measurement studies in PAPERS.md frame
+it.  ``--full`` sizes the run to the acceptance floor: ≥100k open-loop
+requests at r = 150.
+
+Runs are deterministic per seed (byte-identical trace and SLO snapshot
+on both ``REPRO_SCHEDULER=wheel|heap``); :func:`replay_load` re-drives
+a recorded trace as the regression oracle (docs/WORKLOADS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.config import PlatformConfig
+from repro.deploy import OverlayDescription, build_overlay
+from repro.metrics import render_table
+from repro.network import Network
+from repro.sim import MINUTES, Simulator
+from repro.workload import (
+    TraceOp,
+    WorkloadEngine,
+    WorkloadSpec,
+    WorkloadTraceRecorder,
+)
+from repro.workload.slo import render_slo
+
+#: paper-scale configuration (acceptance floor: ≥100k requests, r=150)
+FULL_R = 150
+#: CI-sized configuration
+CI_R = 12
+#: drain margin after the measured window so in-flight queries resolve
+DRAIN_SLACK = 1.0
+
+
+def ci_spec(**overrides: Any) -> WorkloadSpec:
+    """The CI-sized workload: ~1k requests against a small overlay."""
+    base: Dict[str, Any] = dict(
+        name="load",
+        duration=60.0,
+        warmup=5 * MINUTES,
+        catalog={"popularity": "zipf", "size": 120, "skew": 1.0},
+        arrivals={"kind": "poisson", "rate": 2.0},
+        queriers=6,
+        publishers=2,
+    )
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+def full_spec(**overrides: Any) -> WorkloadSpec:
+    """The paper-scale workload: 42 open-loop clients × 5 req/s ×
+    10 min ≈ 126k requests (the ≥100k acceptance floor)."""
+    base: Dict[str, Any] = dict(
+        name="load",
+        duration=10 * MINUTES,
+        warmup=15 * MINUTES,
+        catalog={"popularity": "zipf", "size": 1000, "skew": 1.0},
+        arrivals={"kind": "poisson", "rate": 5.0},
+        queriers=40,
+        publishers=2,
+    )
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+@dataclass
+class LoadRun:
+    """Everything one workload run produced."""
+
+    spec: WorkloadSpec
+    r: int
+    seed: int
+    engine: WorkloadEngine
+    recorder: Optional[WorkloadTraceRecorder]
+
+    @property
+    def slo(self):
+        return self.engine.slo
+
+    def snapshot(self) -> Dict[str, dict]:
+        return self.slo.snapshot()
+
+    def digest(self) -> Optional[str]:
+        return self.recorder.digest() if self.recorder is not None else None
+
+
+def _deploy(spec: WorkloadSpec, r: int, seed: int,
+            config: Optional[PlatformConfig] = None):
+    sim = Simulator(seed=seed)
+    network = Network(sim)
+    cfg = config if config is not None else PlatformConfig()
+    count = spec.client_count
+    overlay = build_overlay(
+        sim, network, cfg,
+        OverlayDescription(
+            rendezvous_count=r,
+            edge_count=count,
+            edge_attachment=[i % r for i in range(count)],
+        ),
+    )
+    overlay.start()
+    return sim, overlay
+
+
+def run_load(
+    spec: WorkloadSpec,
+    r: int,
+    seed: int = 1,
+    record: bool = False,
+    config: Optional[PlatformConfig] = None,
+) -> LoadRun:
+    """Deploy an overlay, run the workload, drain in-flight requests."""
+    sim, overlay = _deploy(spec, r, seed, config)
+    recorder = WorkloadTraceRecorder() if record else None
+    engine = WorkloadEngine(spec, sim, overlay.edges, recorder=recorder)
+    engine.start()
+    sim.run(until=spec.horizon + spec.timeout + DRAIN_SLACK)
+    return LoadRun(spec=spec, r=r, seed=seed, engine=engine, recorder=recorder)
+
+
+def replay_load(
+    spec: WorkloadSpec,
+    r: int,
+    ops: Sequence[TraceOp],
+    seed: int = 1,
+    config: Optional[PlatformConfig] = None,
+) -> LoadRun:
+    """Re-drive a recorded trace on a fresh deployment of the same
+    (spec, r, seed) — the regression oracle: for open-loop workloads
+    the replayed run's trace bytes and SLO snapshot match the original
+    exactly (docs/WORKLOADS.md)."""
+    sim, overlay = _deploy(spec, r, seed, config)
+    recorder = WorkloadTraceRecorder()
+    engine = WorkloadEngine(spec, sim, overlay.edges, recorder=recorder)
+    engine.start_replay(ops)
+    sim.run(until=spec.horizon + spec.timeout + DRAIN_SLACK)
+    return LoadRun(spec=spec, r=r, seed=seed, engine=engine, recorder=recorder)
+
+
+@dataclass
+class LoadResult:
+    """One (workload, operation) row of a load run (flat, so the
+    ``--seeds`` cross-seed aggregator picks every metric up)."""
+
+    label: str
+    r: int
+    requests: int
+    ok: int
+    timeout: int
+    failure: int
+    retries: int
+    qps: float
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    timeout_rate: float
+    failure_rate: float
+
+
+def results_of(run: LoadRun) -> List[LoadResult]:
+    """The run's SLO snapshot as flat result rows (latency columns are
+    0 for latency-less operations like publishes)."""
+    rows: List[LoadResult] = []
+    for key, entry in sorted(run.snapshot().items()):
+        rows.append(
+            LoadResult(
+                label=key,
+                r=run.r,
+                requests=entry["requests"],
+                ok=entry["ok"],
+                timeout=entry["timeout"],
+                failure=entry["failure"],
+                retries=entry["retries"],
+                qps=entry["requests"] / run.spec.duration,
+                mean_ms=entry.get("mean_ms", 0.0),
+                p50_ms=entry.get("p50_ms", 0.0),
+                p95_ms=entry.get("p95_ms", 0.0),
+                p99_ms=entry.get("p99_ms", 0.0),
+                timeout_rate=entry["timeout_rate"],
+                failure_rate=entry["failure_rate"],
+            )
+        )
+    return rows
+
+
+def render(run: LoadRun) -> str:
+    spec = run.spec
+    head = (
+        f"Load — r={run.r}, {spec.queriers} queriers + "
+        f"{spec.publishers} publishers + {spec.closed_clients} closed, "
+        f"{spec.arrivals.get('kind', 'poisson')} arrivals, "
+        f"catalog {spec.catalog.get('popularity')}"
+        f"(size={spec.catalog.get('size')}, "
+        f"skew={spec.catalog.get('skew', 0)}), "
+        f"{spec.duration:.0f}s measured window\n"
+    )
+    body = render_slo(run.snapshot())
+    total = run.slo.total_requests()
+    tail = f"\ntotal requests: {total}"
+    if run.recorder is not None:
+        tail += f"\ntrace: {len(run.recorder)} ops, sha256 {run.digest()}"
+    return head + "\n" + body + tail
+
+
+def render_results(rows: List[LoadResult]) -> str:
+    body = [
+        [
+            row.label,
+            row.requests,
+            f"{row.qps:.1f}",
+            f"{row.p50_ms:.1f}" if row.p50_ms else "-",
+            f"{row.p99_ms:.1f}" if row.p99_ms else "-",
+            f"{100.0 * row.timeout_rate:.2f}%",
+        ]
+        for row in rows
+    ]
+    return render_table(
+        ["workload.op", "requests", "req/s", "p50 [ms]", "p99 [ms]",
+         "timeouts"],
+        body,
+    )
+
+
+def main(full: bool = False, seed: int = 1) -> List[LoadResult]:
+    spec = full_spec() if full else ci_spec()
+    r = FULL_R if full else CI_R
+    print(
+        f"# load: r={r}, ~{spec.expected_requests():.0f} open-loop "
+        f"requests expected, seed={seed} ...",
+        flush=True,
+    )
+    run = run_load(spec, r=r, seed=seed)
+    print(render(run))
+    return results_of(run)
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(full="--full" in sys.argv)

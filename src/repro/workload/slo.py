@@ -1,0 +1,179 @@
+"""SLO tracking: per-(workload, operation) latency and outcome rates.
+
+Each ``(workload, operation)`` key owns one
+:class:`~repro.obs.histogram.Histogram` (the same fixed-bucket,
+mergeable type the observability layer uses) plus outcome counters.
+Snapshots report p50/p95/p99 (conservative upper-bound estimates from
+the bucket edges), mean latency, and timeout/failure/retry rates with
+deterministic key order — so campaign records embedding them stay
+byte-stable across ``--jobs`` values.
+
+Trackers merge: counters add, histograms merge bucket-wise.  The
+hypothesis suite pins that merged snapshots are commutative and
+associative, the property cross-seed and cross-shard aggregation rests
+on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.obs.histogram import DEFAULT_LATENCY_EDGES_S, Histogram
+
+Key = Tuple[str, str]
+
+
+class _OpStats:
+    """Outcome counters + latency histogram for one (workload, op)."""
+
+    __slots__ = ("ok", "timeout", "failure", "retries", "histogram")
+
+    def __init__(self, edges: Sequence[float]) -> None:
+        self.ok = 0
+        self.timeout = 0
+        self.failure = 0
+        self.retries = 0
+        self.histogram = Histogram(edges)
+
+
+class SloTracker:
+    """Record request outcomes; report latency quantiles and rates."""
+
+    def __init__(
+        self, edges: Sequence[float] = DEFAULT_LATENCY_EDGES_S
+    ) -> None:
+        self._edges = tuple(edges)
+        self._stats: Dict[Key, _OpStats] = {}
+
+    # -------------------------------------------------------- hot path
+    def _get(self, workload: str, operation: str) -> _OpStats:
+        key = (workload, operation)
+        stats = self._stats.get(key)
+        if stats is None:
+            stats = self._stats[key] = _OpStats(self._edges)
+        return stats
+
+    def record_success(
+        self, workload: str, operation: str, latency: Optional[float] = None
+    ) -> None:
+        """One successful request; latency-less operations (local
+        publishes) count toward ``ok`` without a histogram entry."""
+        stats = self._get(workload, operation)
+        stats.ok += 1
+        if latency is not None:
+            stats.histogram.observe(latency)
+
+    def record_timeout(self, workload: str, operation: str) -> None:
+        self._get(workload, operation).timeout += 1
+
+    def record_failure(self, workload: str, operation: str) -> None:
+        """A request that exhausted its whole retry budget."""
+        self._get(workload, operation).failure += 1
+
+    def record_retry(self, workload: str, operation: str) -> None:
+        self._get(workload, operation).retries += 1
+
+    # ------------------------------------------------------------------
+    def requests(self, workload: str, operation: str) -> int:
+        key = (workload, operation)
+        stats = self._stats.get(key)
+        if stats is None:
+            return 0
+        return stats.ok + stats.timeout + stats.failure
+
+    def total_requests(self) -> int:
+        return sum(
+            s.ok + s.timeout + s.failure for s in self._stats.values()
+        )
+
+    def histogram(self, workload: str, operation: str) -> Optional[Histogram]:
+        stats = self._stats.get((workload, operation))
+        return stats.histogram if stats is not None else None
+
+    def keys(self) -> list:
+        return sorted(self._stats)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "SloTracker") -> None:
+        """Fold ``other`` into this tracker (commutative, associative)."""
+        for key, theirs in other._stats.items():
+            mine = self._stats.get(key)
+            if mine is None:
+                mine = self._stats[key] = _OpStats(theirs.histogram.edges)
+            mine.ok += theirs.ok
+            mine.timeout += theirs.timeout
+            mine.failure += theirs.failure
+            mine.retries += theirs.retries
+            mine.histogram.merge(theirs.histogram)
+
+    @classmethod
+    def merged(cls, trackers: Iterable["SloTracker"]) -> "SloTracker":
+        out = cls()
+        for tracker in trackers:
+            out.merge(tracker)
+        return out
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, dict]:
+        """Deterministic JSON-able summary, keyed ``workload.operation``.
+
+        Latency quantiles are in milliseconds (conservative upper
+        bounds, like :meth:`Histogram.quantile`); rates are fractions
+        of all requests for the key.
+        """
+        out: Dict[str, dict] = {}
+        for (workload, operation) in sorted(self._stats):
+            stats = self._stats[(workload, operation)]
+            hist = stats.histogram
+            requests = stats.ok + stats.timeout + stats.failure
+            entry: Dict[str, object] = {
+                "requests": requests,
+                "ok": stats.ok,
+                "timeout": stats.timeout,
+                "failure": stats.failure,
+                "retries": stats.retries,
+                "timeout_rate": stats.timeout / requests if requests else 0.0,
+                "failure_rate": stats.failure / requests if requests else 0.0,
+                "histogram": hist.snapshot(),
+            }
+            if hist.count:
+                entry["mean_ms"] = 1000.0 * hist.mean
+                entry["p50_ms"] = 1000.0 * hist.p50
+                entry["p95_ms"] = 1000.0 * hist.p95
+                entry["p99_ms"] = 1000.0 * hist.p99
+            out[f"{workload}.{operation}"] = entry
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SloTracker(keys={len(self._stats)}, "
+            f"requests={self.total_requests()})"
+        )
+
+
+def render_slo(snapshot: Dict[str, dict]) -> str:
+    """The SLO snapshot as the repo's standard ASCII table."""
+    from repro.metrics import render_table
+
+    rows = []
+    for key in sorted(snapshot):
+        entry = snapshot[key]
+        rows.append(
+            [
+                key,
+                entry["requests"],
+                f"{entry.get('p50_ms', float('nan')):.1f}"
+                if "p50_ms" in entry else "-",
+                f"{entry.get('p95_ms', float('nan')):.1f}"
+                if "p95_ms" in entry else "-",
+                f"{entry.get('p99_ms', float('nan')):.1f}"
+                if "p99_ms" in entry else "-",
+                f"{100.0 * entry['timeout_rate']:.2f}%",
+                f"{100.0 * entry['failure_rate']:.2f}%",
+            ]
+        )
+    return render_table(
+        ["workload.op", "requests", "p50 [ms]", "p95 [ms]", "p99 [ms]",
+         "timeouts", "failures"],
+        rows,
+    )

@@ -1,0 +1,324 @@
+"""Declarative workload specifications and the engine that runs them.
+
+A :class:`WorkloadSpec` is a JSON-able bundle — catalog spec, arrival
+spec, client population, SLO/timeout budgets, timeline — consumed by
+``jxta-repro load``, the ``load`` campaign task, and the benchmarks.
+:meth:`WorkloadSpec.to_dict` / :meth:`from_dict` round-trip, so specs
+embed directly in campaign grids and run manifests.
+
+A :class:`WorkloadEngine` wires the spec onto a deployed overlay's
+edge peers (one client per edge: publishers first, then open-loop
+queriers, then closed-loop clients), seeds the catalog during warm-up,
+runs the measured window, and exposes the SLO tracker plus an optional
+trace recorder.  :meth:`WorkloadEngine.start_replay` re-drives a
+recorded trace instead of generating traffic — the regression-oracle
+path (see docs/WORKLOADS.md for the replay contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.sim import HOURS, MINUTES
+from repro.workload.arrivals import make_arrivals
+from repro.workload.catalog import Catalog, publish_catalog
+from repro.workload.clients import (
+    ClosedLoopClient,
+    OpenLoopPublisher,
+    OpenLoopQuerier,
+    issue_query,
+)
+from repro.workload.slo import SloTracker
+from repro.workload.trace import TraceOp, WorkloadTraceRecorder
+
+
+@dataclass
+class WorkloadSpec:
+    """Everything that defines one workload, JSON-able."""
+
+    name: str = "load"
+    #: measured window, simulated seconds (clients run warmup..warmup+duration)
+    duration: float = 10 * MINUTES
+    #: overlay warm-up before clients start (peerviews converge, the
+    #: catalog is seeded and SRDI-replicated)
+    warmup: float = 8 * MINUTES
+    catalog: Dict[str, Any] = field(
+        default_factory=lambda: {"popularity": "zipf", "size": 200, "skew": 1.0}
+    )
+    #: per-client arrival process (open-loop clients)
+    arrivals: Dict[str, Any] = field(
+        default_factory=lambda: {"kind": "poisson", "rate": 2.0}
+    )
+    #: global multiplier on every client's arrival rate (the campaign knob)
+    rate_scale: float = 1.0
+    queriers: int = 8
+    publishers: int = 2
+    closed_clients: int = 0
+    #: closed-loop think time mean (exponential), seconds
+    think_mean: float = 1.0
+    #: per-request timeout, seconds
+    timeout: float = 10.0
+    #: closed-loop retry budget + exponential backoff
+    retries: int = 2
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    publish_expiration: float = 12 * HOURS
+    #: when to burst-publish the whole catalog (simulated s; must leave
+    #: time for leases before and SRDI propagation after)
+    seed_time: float = 2 * MINUTES
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be > 0")
+        if self.warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        if not 0 <= self.seed_time <= self.warmup:
+            raise ValueError("seed_time must lie inside the warm-up")
+        if self.queriers < 0 or self.publishers < 0 or self.closed_clients < 0:
+            raise ValueError("client counts must be >= 0")
+        if self.queriers + self.publishers + self.closed_clients < 1:
+            raise ValueError("workload needs at least one client")
+        if self.timeout <= 0:
+            raise ValueError("timeout must be > 0")
+        if self.rate_scale <= 0:
+            raise ValueError("rate_scale must be > 0")
+        # fail early on malformed nested specs
+        make_arrivals(self.arrivals, rate_scale=self.rate_scale)
+        Catalog.from_spec(self.catalog)
+
+    # ------------------------------------------------------------------
+    @property
+    def client_count(self) -> int:
+        return self.queriers + self.publishers + self.closed_clients
+
+    @property
+    def horizon(self) -> float:
+        """End of the measured window (simulated seconds)."""
+        return self.warmup + self.duration
+
+    def expected_requests(self) -> float:
+        """Open-loop request volume the spec is sized for (mean)."""
+        per_client = (
+            make_arrivals(self.arrivals, rate_scale=self.rate_scale)
+            .mean_rate() * self.duration
+        )
+        return per_client * (self.queriers + self.publishers)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "duration": self.duration,
+            "warmup": self.warmup,
+            "catalog": dict(self.catalog),
+            "arrivals": dict(self.arrivals),
+            "rate_scale": self.rate_scale,
+            "queriers": self.queriers,
+            "publishers": self.publishers,
+            "closed_clients": self.closed_clients,
+            "think_mean": self.think_mean,
+            "timeout": self.timeout,
+            "retries": self.retries,
+            "backoff_base": self.backoff_base,
+            "backoff_factor": self.backoff_factor,
+            "publish_expiration": self.publish_expiration,
+            "seed_time": self.seed_time,
+        }
+
+    @classmethod
+    def from_dict(cls, spec: Dict[str, Any]) -> "WorkloadSpec":
+        known = {f: spec[f] for f in cls.__dataclass_fields__ if f in spec}
+        unknown = set(spec) - set(known)
+        if unknown:
+            raise ValueError(f"unknown workload spec fields: {sorted(unknown)}")
+        return cls(**known)
+
+
+class WorkloadEngine:
+    """A spec, instantiated against a deployed overlay's edges."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        sim,
+        edges: Sequence,
+        slo: Optional[SloTracker] = None,
+        recorder: Optional[WorkloadTraceRecorder] = None,
+    ) -> None:
+        if len(edges) < spec.client_count:
+            raise ValueError(
+                f"workload {spec.name!r} needs {spec.client_count} edge "
+                f"peer(s), overlay provides {len(edges)}"
+            )
+        self.spec = spec
+        self.sim = sim
+        self.slo = slo if slo is not None else SloTracker()
+        self.recorder = recorder
+        self.catalog = Catalog.from_spec(spec.catalog)
+        arrivals = make_arrivals(spec.arrivals, rate_scale=spec.rate_scale)
+
+        self.clients: List[Any] = []
+        self._by_name: Dict[str, Any] = {}
+        cursor = 0
+        for i in range(spec.publishers):
+            client = OpenLoopPublisher(
+                sim, edges[cursor], spec.name, f"pub-{i}", self.catalog,
+                arrivals, self.slo, recorder,
+                expiration=spec.publish_expiration,
+            )
+            self._add(client)
+            cursor += 1
+        for i in range(spec.queriers):
+            client = OpenLoopQuerier(
+                sim, edges[cursor], spec.name, f"query-{i}", self.catalog,
+                arrivals, self.slo, recorder, timeout=spec.timeout,
+            )
+            self._add(client)
+            cursor += 1
+        for i in range(spec.closed_clients):
+            client = ClosedLoopClient(
+                sim, edges[cursor], spec.name, f"closed-{i}", self.catalog,
+                self.slo, recorder,
+                think_mean=spec.think_mean,
+                timeout=spec.timeout,
+                retries=spec.retries,
+                backoff_base=spec.backoff_base,
+                backoff_factor=spec.backoff_factor,
+            )
+            self._add(client)
+            cursor += 1
+        #: edges used to seed the catalog (the publishers; all clients
+        #: if the population has none)
+        self._seed_edges = [
+            c.edge for c in self.clients if isinstance(c, OpenLoopPublisher)
+        ] or [c.edge for c in self.clients]
+
+    def _add(self, client) -> None:
+        self.clients.append(client)
+        self._by_name[client.name] = client
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule catalog seeding (at ``seed_time``) and every
+        client's traffic (warmup..horizon).  Call before ``sim.run``."""
+        spec = self.spec
+        delay = spec.seed_time - self.sim.now
+        if delay < 0:
+            raise RuntimeError(
+                f"engine started at t={self.sim.now}, after seed_time"
+            )
+        self.sim.schedule(delay, self._seed_catalog, label="workload.seed")
+        for client in self.clients:
+            client.start(spec.warmup, spec.horizon)
+
+    def _seed_catalog(self) -> None:
+        """Burst-publish the whole catalog over the publisher edges so
+        queries have something to find once SRDI propagates."""
+        edges = self._seed_edges
+        if self.recorder is not None:
+            n = len(self.catalog)
+            per_edge = -(-n // len(edges))
+            for i in range(len(edges)):
+                for k in range(i * per_edge, min((i + 1) * per_edge, n)):
+                    self.recorder.record(
+                        self.sim.now, f"seed-{i}", "publish",
+                        self.catalog.names[k],
+                    )
+        publish_catalog(edges, self.catalog, self.spec.publish_expiration)
+        self.slo.record_success(self.spec.name, "seed")
+
+    def stop(self) -> None:
+        for client in self.clients:
+            client.stop()
+
+    # ------------------------------------------------------------------
+    # trace replay
+    # ------------------------------------------------------------------
+    def start_replay(self, ops: Sequence[TraceOp]) -> int:
+        """Re-drive the *issue* ops of a recorded trace.
+
+        Each op is scheduled at its recorded time against the client it
+        was recorded from (``seed-*`` ops go to the seeding edges);
+        nothing is drawn from the workload RNG streams, so on the same
+        overlay seed the replayed run reproduces the original
+        completions, SLO snapshot and trace bytes exactly (open-loop
+        workloads; see docs/WORKLOADS.md).  Returns the number of
+        scheduled ops.  Call before ``sim.run``, instead of
+        :meth:`start`.
+        """
+        now = self.sim.now
+        scheduled = 0
+        self._seed_clients: Dict[str, _SeedReplayClient] = {}
+        self._seed_pending = 0
+        for op in ops:
+            if op.op == "publish":
+                client = self._replay_client(op.client)
+                if isinstance(client, _SeedReplayClient):
+                    self._seed_pending += 1
+                self.sim.schedule(
+                    op.t - now, self._replay_publish, client, op.item,
+                    label="workload.replay",
+                )
+                scheduled += 1
+            elif op.op == "query":
+                client = self._replay_client(op.client)
+                self.sim.schedule(
+                    op.t - now, self._replay_query, client, op.item,
+                    label="workload.replay",
+                )
+                scheduled += 1
+            # outcome ops are regenerated by the run itself
+        return scheduled
+
+    def _replay_client(self, name: str):
+        if name.startswith("seed-"):
+            client = self._seed_clients.get(name)
+            if client is None:
+                index = int(name.split("-", 1)[1])
+                client = self._seed_clients[name] = _SeedReplayClient(
+                    self.sim, self._seed_edges[index], self.spec.name, name,
+                    self.catalog, self.slo, self.recorder,
+                )
+            return client
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ValueError(
+                f"trace client {name!r} unknown to this spec "
+                f"(known: {sorted(self._by_name)})"
+            ) from None
+
+    def _replay_publish(self, client, item: str) -> None:
+        client._trace("publish", item)
+        client.edge.discovery.publish(
+            self.catalog.adv_named(item),
+            expiration=self.spec.publish_expiration,
+        )
+        if isinstance(client, _SeedReplayClient):
+            # the live run records one "seed" success for the whole
+            # burst; replay does the same once the burst drains
+            self._seed_pending -= 1
+            if self._seed_pending == 0:
+                self.slo.record_success(self.spec.name, "seed")
+        else:
+            self.slo.record_success(self.spec.name, "publish")
+
+    def _replay_query(self, client, item: str) -> None:
+        issue_query(client, item, self.spec.timeout)
+
+
+class _SeedReplayClient:
+    """Stand-in client for replayed ``seed-*`` publish ops."""
+
+    def __init__(self, sim, edge, workload, name, catalog, slo, recorder):
+        self.sim = sim
+        self.edge = edge
+        self.workload = workload
+        self.name = name
+        self.catalog = catalog
+        self.slo = slo
+        self.recorder = recorder
+
+    def _trace(self, op, item, latency=None):
+        if self.recorder is not None:
+            self.recorder.record(self.sim.now, self.name, op, item, latency)

@@ -100,4 +100,5 @@ class TestCli:
             "table1", "fig3-left", "fig3-right", "fig4-left",
             "fig4-right", "baselines", "ablation", "churn",
             "complex-queries", "faults", "transport", "calibration",
+            "load",
         }

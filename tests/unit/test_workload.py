@@ -1,0 +1,283 @@
+"""Unit tests for the repro.workload subsystem (arrivals, catalogs,
+SLO tracking, traces, specs)."""
+
+import json
+import random
+
+import pytest
+
+from repro.obs.histogram import Histogram
+from repro.sim import Simulator
+from repro.workload import (
+    Catalog,
+    ConstantArrivals,
+    DiurnalArrivals,
+    MmppArrivals,
+    PoissonArrivals,
+    SloTracker,
+    TraceOp,
+    WorkloadEngine,
+    WorkloadSpec,
+    WorkloadTraceRecorder,
+    load_trace_lines,
+    make_arrivals,
+    noiser_catalog,
+    publish_catalog,
+    replay_ops,
+)
+
+
+# ---------------------------------------------------------------- arrivals
+class TestArrivals:
+    def test_constant_is_an_exact_grid(self):
+        times = list(ConstantArrivals(2.0).iter_times(random.Random(1), 10.0, 12.0))
+        assert times == [10.5, 11.0, 11.5, 12.0]
+
+    def test_constant_draws_no_randomness(self):
+        rng = random.Random(7)
+        list(ConstantArrivals(5.0).iter_times(rng, 0.0, 3.0))
+        assert rng.random() == random.Random(7).random()
+
+    def test_poisson_deterministic_per_stream(self):
+        a = list(PoissonArrivals(3.0).iter_times(random.Random(42), 0.0, 50.0))
+        b = list(PoissonArrivals(3.0).iter_times(random.Random(42), 0.0, 50.0))
+        assert a == b
+        assert all(t2 > t1 for t1, t2 in zip(a, a[1:]))
+        assert all(0.0 < t <= 50.0 for t in a)
+
+    def test_poisson_rate_roughly_respected(self):
+        times = list(PoissonArrivals(4.0).iter_times(random.Random(3), 0.0, 500.0))
+        assert 1600 < len(times) < 2400  # mean 2000
+
+    def test_mmpp_bursts_and_monotone_times(self):
+        proc = MmppArrivals(base_rate=1.0, burst_rate=50.0,
+                            mean_base_dwell=20.0, mean_burst_dwell=5.0)
+        times = list(proc.iter_times(random.Random(11), 0.0, 200.0))
+        assert all(t2 >= t1 for t1, t2 in zip(times, times[1:]))
+        assert len(times) > 200  # far above the base rate alone
+
+    def test_diurnal_ramp_denser_at_peak(self):
+        proc = DiurnalArrivals(base_rate=2.0, amplitude=0.9,
+                               period=100.0, phase=25.0)
+        times = list(proc.iter_times(random.Random(5), 0.0, 100.0))
+        # rate(t) = 2·(1 + 0.9·sin(2π(t−25)/100)) is above base on
+        # (25, 75) and below it elsewhere in the window
+        high = sum(1 for t in times if 25.0 < t < 75.0)
+        low = len(times) - high
+        assert high > low
+
+    def test_factory_roundtrip_and_scaling(self):
+        for spec in (
+            {"kind": "constant", "rate": 2.0},
+            {"kind": "poisson", "rate": 3.0},
+            {"kind": "mmpp", "base_rate": 1.0, "burst_rate": 10.0},
+            {"kind": "diurnal", "base_rate": 2.0, "amplitude": 0.5,
+             "period": 60.0},
+        ):
+            proc = make_arrivals(spec)
+            assert proc.spec()["kind"] == spec["kind"]
+            assert make_arrivals(proc.spec()).spec() == proc.spec()
+            doubled = make_arrivals(spec, rate_scale=2.0)
+            assert doubled.mean_rate() == pytest.approx(2.0 * proc.mean_rate())
+
+    def test_factory_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown arrival"):
+            make_arrivals({"kind": "fractal", "rate": 1.0})
+
+    def test_rates_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ConstantArrivals(0.0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(-1.0)
+
+
+# ---------------------------------------------------------------- catalog
+class TestCatalog:
+    def test_zipf_prefers_low_indices(self):
+        cat = Catalog.zipf(50, skew=1.2)
+        rng = random.Random(9)
+        draws = [cat.sample(rng) for _ in range(2000)]
+        head = sum(1 for d in draws if d < 5)
+        tail = sum(1 for d in draws if d >= 45)
+        assert head > 5 * tail
+
+    def test_uniform_is_flat(self):
+        cat = Catalog.uniform(10)
+        rng = random.Random(2)
+        draws = [cat.sample(rng) for _ in range(5000)]
+        counts = [draws.count(i) for i in range(10)]
+        assert min(counts) > 300  # ~500 each
+
+    def test_sampling_is_stream_deterministic(self):
+        cat = Catalog.zipf(30, skew=0.8)
+        a = [cat.sample_name(random.Random(77)) for _ in range(1)]
+        b = [cat.sample_name(random.Random(77)) for _ in range(1)]
+        assert a == b
+
+    def test_spec_roundtrip(self):
+        for cat in (Catalog.uniform(12, payload_bytes=32),
+                    Catalog.zipf(12, skew=1.5)):
+            again = Catalog.from_spec(cat.spec())
+            assert again.names == cat.names
+            assert again.spec() == cat.spec()
+
+    def test_from_spec_rejects_unknown_popularity(self):
+        with pytest.raises(ValueError, match="popularity"):
+            Catalog.from_spec({"popularity": "pareto", "size": 5})
+
+    def test_names_must_be_unique(self):
+        with pytest.raises(ValueError, match="unique"):
+            Catalog(["a", "a"])
+
+    def test_adv_and_index_lookup(self):
+        cat = Catalog.uniform(4, prefix="svc", payload_bytes=8)
+        adv = cat.adv_named("svc-2")
+        assert adv.name == "svc-2"
+        assert adv.payload == "x" * 8
+        assert cat.index_of("svc-2") == 2
+        assert cat.index_tuple(2)[2] == "svc-2"
+
+    def test_noiser_catalog_matches_legacy_naming(self):
+        cat = noiser_catalog(3, 2)
+        assert cat.names == [
+            "fake-0-0", "fake-0-1", "fake-1-0",
+            "fake-1-1", "fake-2-0", "fake-2-1",
+        ]
+        assert cat.payload_bytes == 64
+
+    def test_publish_catalog_splits_contiguously(self):
+        class Edge:
+            def __init__(self):
+                self.published = []
+                self.discovery = self
+
+            def publish(self, adv, lifetime=None, expiration=None):
+                self.published.append((adv.name, expiration))
+
+        edges = [Edge(), Edge()]
+        cat = Catalog.uniform(5, prefix="it")
+        n = publish_catalog(edges, cat, expiration=100.0)
+        assert n == 5
+        assert [name for name, _ in edges[0].published] == ["it-0", "it-1", "it-2"]
+        assert [name for name, _ in edges[1].published] == ["it-3", "it-4"]
+        assert all(exp == 100.0 for e in edges for _, exp in e.published)
+
+
+# ------------------------------------------------------------------- SLO
+class TestSloTracker:
+    def test_counts_and_rates(self):
+        slo = SloTracker()
+        slo.record_success("w", "query", 0.010)
+        slo.record_success("w", "query", 0.020)
+        slo.record_timeout("w", "query")
+        slo.record_failure("w", "query")
+        slo.record_retry("w", "query")
+        assert slo.requests("w", "query") == 4
+        snap = slo.snapshot()["w.query"]
+        assert snap["ok"] == 2
+        assert snap["timeout_rate"] == pytest.approx(0.25)
+        assert snap["failure_rate"] == pytest.approx(0.25)
+        assert snap["retries"] == 1
+        assert snap["p50_ms"] >= 10.0
+
+    def test_latency_less_success_skips_histogram(self):
+        slo = SloTracker()
+        slo.record_success("w", "publish")
+        assert slo.histogram("w", "publish").count == 0
+        assert "p50_ms" not in slo.snapshot()["w.publish"]
+
+    def test_merge_adds_everything(self):
+        a, b = SloTracker(), SloTracker()
+        a.record_success("w", "query", 0.010)
+        b.record_success("w", "query", 0.030)
+        b.record_timeout("w", "other")
+        a.merge(b)
+        assert a.requests("w", "query") == 2
+        assert a.requests("w", "other") == 1
+        assert a.histogram("w", "query").count == 2
+
+    def test_merged_classmethod_and_key_order(self):
+        trackers = []
+        for op in ("c", "a", "b"):
+            t = SloTracker()
+            t.record_success("w", op, 0.001)
+            trackers.append(t)
+        merged = SloTracker.merged(trackers)
+        assert list(merged.snapshot()) == ["w.a", "w.b", "w.c"]
+
+    def test_snapshot_histogram_roundtrips(self):
+        slo = SloTracker()
+        for v in (0.004, 0.02, 0.4, 2.0):
+            slo.record_success("w", "query", v)
+        snap = slo.snapshot()["w.query"]["histogram"]
+        rebuilt = Histogram.from_snapshot(snap)
+        assert rebuilt.snapshot() == snap
+        assert rebuilt.p99 == slo.histogram("w", "query").p99
+
+
+# ------------------------------------------------------------------ trace
+class TestTrace:
+    def test_canonical_lines_and_digest(self):
+        rec = WorkloadTraceRecorder()
+        rec.record(1.5, "query-0", "query", "item-3")
+        rec.record(1.52, "query-0", "query.ok", "item-3", 0.02)
+        lines = rec.lines()
+        assert lines[0] == '{"client":"query-0","item":"item-3","op":"query","t":1.5}'
+        assert "latency" in lines[1]
+        rec2 = WorkloadTraceRecorder()
+        rec2.record(1.5, "query-0", "query", "item-3")
+        rec2.record(1.52, "query-0", "query.ok", "item-3", 0.02)
+        assert rec.digest() == rec2.digest()
+
+    def test_roundtrip_through_file(self, tmp_path):
+        rec = WorkloadTraceRecorder()
+        rec.record(0.0, "pub-0", "publish", "a")
+        rec.record(3.25, "query-1", "query", "b")
+        rec.record(3.5, "query-1", "query.timeout", "b")
+        path = rec.write(tmp_path / "trace.jsonl")
+        ops = load_trace_lines(path)
+        assert ops == rec.ops
+        assert [op.op for op in replay_ops(ops)] == ["publish", "query"]
+
+    def test_trace_op_json_roundtrip(self):
+        op = TraceOp(t=12.125, client="c", op="query.ok", item="i", latency=0.5)
+        assert TraceOp.from_json(op.to_json()) == op
+        # canonical float repr means byte-stable re-serialisation
+        assert TraceOp.from_json(op.to_json()).to_json() == op.to_json()
+
+
+# ------------------------------------------------------------------- spec
+class TestWorkloadSpec:
+    def test_roundtrip(self):
+        spec = WorkloadSpec(queriers=3, publishers=1, closed_clients=2,
+                            rate_scale=1.5)
+        again = WorkloadSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again.to_dict() == spec.to_dict()
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown workload spec"):
+            WorkloadSpec.from_dict({"queriers": 1, "sharding": True})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(duration=0.0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(queriers=0, publishers=0, closed_clients=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(seed_time=10 * 60.0, warmup=60.0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(arrivals={"kind": "nope", "rate": 1.0})
+
+    def test_expected_requests_scales(self):
+        spec = WorkloadSpec(duration=100.0, warmup=120.0, seed_time=60.0,
+                            queriers=4, publishers=0,
+                            arrivals={"kind": "constant", "rate": 2.0})
+        assert spec.expected_requests() == pytest.approx(800.0)
+        spec2 = WorkloadSpec(**{**spec.to_dict(), "rate_scale": 2.0})
+        assert spec2.expected_requests() == pytest.approx(1600.0)
+
+    def test_engine_needs_enough_edges(self):
+        sim = Simulator(seed=1)
+        spec = WorkloadSpec(queriers=3, publishers=1)
+        with pytest.raises(ValueError, match="edge peer"):
+            WorkloadEngine(spec, sim, edges=[object(), object()])

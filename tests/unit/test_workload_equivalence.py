@@ -1,0 +1,76 @@
+"""fig4_right's noiser refactor is behaviour-preserving.
+
+PR 8 replaced the experiment's inline nested publish loop with
+``noiser_catalog`` + ``publish_catalog`` from :mod:`repro.workload`.
+These tests keep the *legacy loop itself* as the oracle: the old code
+lives here verbatim, both paths run against recording stubs, and the
+resulting publish sequences must match byte for byte — same names,
+same payloads, same expirations, same per-edge order.
+"""
+
+from repro.advertisement.testadv import FakeAdvertisement
+from repro.experiments.fig4_right import run_point
+from repro.sim import HOURS
+from repro.workload import noiser_catalog, publish_catalog
+
+
+class RecordingEdge:
+    """Stub edge capturing discovery.publish calls in order."""
+
+    def __init__(self):
+        self.calls = []
+        self.discovery = self
+
+    def publish(self, adv, lifetime=None, expiration=None):
+        self.calls.append((adv.name, adv.payload, lifetime, expiration))
+
+
+def legacy_noise_loop(noiser_edges, fakes_per_noiser):
+    """The pre-refactor fig4_right configuration-B publish loop,
+    verbatim (the equivalence oracle)."""
+    for i, noiser in enumerate(noiser_edges):
+        for j in range(fakes_per_noiser):
+            noiser.discovery.publish(
+                FakeAdvertisement(f"fake-{i}-{j}", payload="x" * 64),
+                expiration=12 * HOURS,
+            )
+
+
+def test_catalog_path_matches_legacy_loop_exactly():
+    for noisers, fakes in ((1, 1), (3, 5), (10, 7)):
+        legacy = [RecordingEdge() for _ in range(noisers)]
+        legacy_noise_loop(legacy, fakes)
+
+        new = [RecordingEdge() for _ in range(noisers)]
+        published = publish_catalog(
+            new, noiser_catalog(noisers, fakes), expiration=12 * HOURS
+        )
+
+        assert published == noisers * fakes
+        assert [e.calls for e in new] == [e.calls for e in legacy]
+
+
+def test_advertisement_documents_are_identical():
+    cat = noiser_catalog(2, 3)
+    for i in range(2):
+        for j in range(3):
+            legacy_adv = FakeAdvertisement(f"fake-{i}-{j}", payload="x" * 64)
+            new_adv = cat.adv_named(f"fake-{i}-{j}")
+            assert new_adv.to_xml() == legacy_adv.to_xml()
+            assert new_adv.unique_key() == legacy_adv.unique_key()
+
+
+def test_fig4_point_unchanged_by_refactor():
+    """Same seed → identical measurement through the real experiment
+    path (overlay, SRDI, queries), with noisers active."""
+    kwargs = dict(
+        r=4, with_noise=True, queries=5, seed=3,
+        warmup=240.0, noisers=3, fakes_per_noiser=4,
+    )
+    a = run_point(**kwargs)
+    b = run_point(**kwargs)
+    assert a.mean_ms == b.mean_ms
+    assert a.success == b.success
+    assert [(s.latency, s.found) for s in a.samples] == [
+        (s.latency, s.found) for s in b.samples
+    ]
