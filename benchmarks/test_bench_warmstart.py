@@ -1,0 +1,71 @@
+"""Bench: warm-starting an experiment from the checkpoint cache.
+
+Times the fig4-right measurement phase three ways on the same
+configuration — cold (bootstrap rebuilt inline), warm-miss (bootstrap
+built once and stored) and warm-hit (bootstrap restored from the
+content-addressed cache) — and asserts the subsystem's reason to
+exist: a warm hit must skip at least the bootstrap's share of the
+cold wall time, and the answers must not move at all.
+"""
+
+import time
+
+from repro.experiments import fig4_right
+from repro.sim import MINUTES
+from repro.snapshot import CheckpointStore
+
+# a bootstrap-dominated point: an hour of simulated warm-up against a
+# 20-rendezvous overlay, then a short query burst
+POINT = dict(r=20, with_noise=True, queries=20, seed=1, warmup=60 * MINUTES)
+
+
+def test_warm_hit_skips_the_bootstrap(run_once, tmp_path, capsys):
+    store = CheckpointStore(tmp_path / "ckpts")
+
+    started = time.monotonic()
+    cold = fig4_right.run_point(**POINT)
+    cold_wall = time.monotonic() - started
+
+    started = time.monotonic()
+    warm_miss = fig4_right.run_point(**POINT, checkpoint_store=store)
+    miss_wall = time.monotonic() - started
+
+    started = time.monotonic()
+    warm_hit = run_once(
+        fig4_right.run_point, **POINT, checkpoint_store=store
+    )
+    hit_wall = time.monotonic() - started
+
+    assert store.counters() == {
+        "hits": 1, "misses": 1,
+        "build_seconds": store.build_seconds,
+    }
+    bootstrap_fraction = store.build_seconds / miss_wall
+
+    with capsys.disabled():
+        print()
+        print(
+            f"cold {cold_wall:.3f}s | warm-miss {miss_wall:.3f}s "
+            f"(build {store.build_seconds:.3f}s, "
+            f"{bootstrap_fraction * 100:.0f}% bootstrap) | "
+            f"warm-hit {hit_wall:.3f}s "
+            f"({cold_wall / max(hit_wall, 1e-9):.1f}x)"
+        )
+
+    # byte-identical answers whichever path produced them
+    assert warm_miss == cold
+    assert warm_hit == cold
+
+    # the CI floor: a warm hit saves at least the bootstrap's share of
+    # the cold run (with slack for restore cost and timer noise — the
+    # configuration above is ~75-80% bootstrap, so 60% is a real
+    # floor, not a tautology)
+    saved_fraction = (cold_wall - hit_wall) / cold_wall
+    assert bootstrap_fraction >= 0.6, (
+        f"bench config no longer bootstrap-dominated "
+        f"({bootstrap_fraction * 100:.0f}%)"
+    )
+    assert saved_fraction >= bootstrap_fraction - 0.3, (
+        f"warm hit saved only {saved_fraction * 100:.0f}% of the cold "
+        f"wall; bootstrap is {bootstrap_fraction * 100:.0f}%"
+    )

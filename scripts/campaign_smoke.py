@@ -12,6 +12,11 @@ subsystem's headline guarantees end to end, from the real CLI:
    whole process group, so workers die too); ``--resume`` must finish
    the campaign without re-running any completed task and again match
    the serial aggregates byte for byte.
+4. **Warm start + corruption recovery** — the CI-sized ``load``
+   campaign with ``--checkpoint-dir`` must build each shared bootstrap
+   prefix exactly once, match the cold run byte for byte, and — after
+   every stored checkpoint blob is deliberately corrupted — quarantine
+   the bad blobs, rebuild, and *still* match the cold run.
 
 Exit code 0 on success; any violated guarantee raises.
 """
@@ -45,18 +50,30 @@ def _env() -> dict:
     return env
 
 
-def sweep_argv(out: Path, jobs: int, resume: bool = False) -> list:
+def sweep_argv(
+    out: Path,
+    jobs: int,
+    resume: bool = False,
+    campaign: str = CAMPAIGN,
+    seeds: str = SEEDS,
+    checkpoint_dir: Path = None,
+) -> list:
     argv = [
-        sys.executable, "-m", "repro.experiments.cli", "sweep", CAMPAIGN,
-        "--seeds", SEEDS, "--jobs", str(jobs), "--out", str(out), "--quiet",
+        sys.executable, "-m", "repro.experiments.cli", "sweep", campaign,
+        "--seeds", seeds, "--jobs", str(jobs), "--out", str(out), "--quiet",
     ]
     if resume:
         argv.append("--resume")
+    if checkpoint_dir is not None:
+        argv.extend(["--checkpoint-dir", str(checkpoint_dir)])
     return argv
 
 
-def run_sweep(out: Path, jobs: int, resume: bool = False) -> dict:
-    subprocess.run(sweep_argv(out, jobs, resume), env=_env(), check=True, cwd=REPO)
+def run_sweep(out: Path, jobs: int, resume: bool = False, **kwargs) -> dict:
+    subprocess.run(
+        sweep_argv(out, jobs, resume, **kwargs), env=_env(), check=True,
+        cwd=REPO,
+    )
     return json.loads((out / "campaign" / "manifest.json").read_text())
 
 
@@ -163,6 +180,50 @@ def main() -> int:
           "missing task(s), none twice")
     assert ok_results(killed) == ok_results(serial)
     assert_same_aggregates(killed, serial, "killed+resumed vs serial")
+
+    # 4. warm start + corrupted-checkpoint recovery -------------------------
+    cold, warm, healed = tmp / "load-cold", tmp / "load-warm", tmp / "load-healed"
+    ckpts = tmp / "checkpoints"
+    load_kwargs = dict(campaign="load", seeds="1")
+
+    manifest_cold = run_sweep(cold, jobs=1, **load_kwargs)
+    assert manifest_cold["failed"] == []
+    manifest_warm = run_sweep(warm, jobs=1, checkpoint_dir=ckpts, **load_kwargs)
+    assert manifest_warm["failed"] == []
+    assert ok_results(warm) == ok_results(cold), \
+        "--warm-start per-task results differ from the cold run"
+    groups = manifest_warm["checkpoint_misses"]
+    hits = manifest_warm["checkpoint_hits"]
+    assert groups == 2, f"expected 2 bootstrap groups (r axis), got {groups}"
+    assert hits == manifest_warm["total_tasks"] - groups, (
+        f"every non-leader task should restore: {hits} hits, "
+        f"{groups} misses, {manifest_warm['total_tasks']} tasks"
+    )
+    print(f"ok: --warm-start: {groups} bootstrap build(s), {hits} restore(s), "
+          "results identical to cold")
+
+    blobs = sorted(ckpts.rglob("*.ckpt"))
+    assert blobs, f"no checkpoint blobs under {ckpts}"
+    for blob in blobs:
+        raw = bytearray(blob.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        blob.write_bytes(bytes(raw))
+    manifest_healed = run_sweep(
+        healed, jobs=2, checkpoint_dir=ckpts, **load_kwargs
+    )
+    assert manifest_healed["failed"] == []
+    assert ok_results(healed) == ok_results(cold), \
+        "results differ after corrupted-checkpoint recovery"
+    assert manifest_healed["checkpoint_misses"] == groups, (
+        "corrupted blobs must read as misses and be rebuilt"
+    )
+    quarantined = sorted(ckpts.rglob("*.corrupt"))
+    assert len(quarantined) == len(blobs), (
+        f"expected {len(blobs)} quarantined blob(s), found {len(quarantined)}"
+    )
+    assert sorted(ckpts.rglob("*.ckpt")) == blobs, "store did not heal"
+    print(f"ok: corrupted {len(blobs)} blob(s) quarantined, rebuilt, "
+          "results identical to cold")
 
     print("campaign smoke: all checks passed")
     return 0

@@ -114,6 +114,14 @@ class Advertisement:
         if "_size_cache" in d:
             del d["_size_cache"]
 
+    def __getstate__(self) -> dict:
+        # the wire-size memo is derived state: carrying it would make
+        # pickle bytes depend on whether size_bytes() happened to run
+        # before the snapshot, breaking byte-stable checkpoints
+        state = self.__dict__.copy()
+        state.pop("_size_cache", None)
+        return state
+
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
         return (

@@ -80,6 +80,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress progress lines"
     )
+    parser.add_argument(
+        "--warm-start", action="store_true",
+        help=(
+            "restore shared task bootstraps (deploy + warm-up) from the "
+            "content-addressed checkpoint cache, building each prefix "
+            "once; results stay byte-identical to a cold run "
+            "(docs/CHECKPOINTS.md)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir", type=str, default=None, metavar="DIR",
+        help=(
+            "checkpoint cache directory (default <out>/checkpoints); "
+            "implies --warm-start"
+        ),
+    )
     return parser
 
 
@@ -108,6 +124,7 @@ def main(argv=None) -> int:
         f"campaign {spec.name}: {len(tasks)} task(s), jobs={args.jobs}, "
         f"store={store.root}"
     )
+    warm = args.warm_start or args.checkpoint_dir is not None
     runner = CampaignRunner(
         spec,
         store,
@@ -115,6 +132,12 @@ def main(argv=None) -> int:
             jobs=args.jobs,
             task_timeout=args.timeout,
             max_retries=args.retries,
+            warm_start=warm,
+            checkpoint_dir=(
+                args.checkpoint_dir
+                if args.checkpoint_dir is not None
+                else (str(out_dir / "checkpoints") if warm else None)
+            ),
         ),
         progress=progress,
     )
@@ -142,6 +165,14 @@ def main(argv=None) -> int:
         f"speedup est {manifest['parallel_speedup_est']:.2f}x "
         f"({store.manifest_path})"
     )
+    if manifest.get("warm_start"):
+        print(
+            f"# checkpoints: {manifest['checkpoint_hits']} hit(s), "
+            f"{manifest['checkpoint_misses']} miss(es), "
+            f"{manifest['checkpoint_build_seconds']:.1f}s building, "
+            f"~{manifest['checkpoint_saved_seconds_est']:.1f}s saved "
+            f"({manifest['checkpoint_dir']})"
+        )
     if manifest["interrupted"]:
         print("# interrupted: rerun with --resume to finish", file=sys.stderr)
         return 130

@@ -44,6 +44,9 @@ class ProgressReporter:
         self.started_at = clock()
         self.done = 0
         self.busy_seconds = 0.0
+        #: checkpoint cache traffic (warm-start campaigns only)
+        self.ckpt_hits = 0
+        self.ckpt_misses = 0
 
     # --- derived numbers --------------------------------------------------
 
@@ -69,16 +72,30 @@ class ProgressReporter:
         if count:
             self.note(f"resume: skipping {count} completed task(s)")
 
-    def task_done(self, label: str, status: str, wall_s: float) -> None:
+    def task_done(
+        self,
+        label: str,
+        status: str,
+        wall_s: float,
+        checkpoint: Optional[Dict[str, Any]] = None,
+    ) -> None:
         self.done += 1
         self.busy_seconds += wall_s
+        if checkpoint is not None:
+            self.ckpt_hits += int(checkpoint.get("hits", 0))
+            self.ckpt_misses += int(checkpoint.get("misses", 0))
         if not self.enabled:
             return
         width = len(str(self.total))
+        ckpt = (
+            f" | ckpt {self.ckpt_hits}H/{self.ckpt_misses}M"
+            if (self.ckpt_hits or self.ckpt_misses)
+            else ""
+        )
         print(
             f"[{self.done:>{width}}/{self.total}] {label} {status} "
             f"{wall_s:.2f}s | eta {_fmt_eta(self.eta_seconds())} "
-            f"| util {self.utilization() * 100:.0f}%",
+            f"| util {self.utilization() * 100:.0f}%{ckpt}",
             file=self.stream,
             flush=True,
         )

@@ -58,6 +58,13 @@ class RunnerOptions:
     retry_backoff: float = 0.5
     mp_context: str = field(default_factory=_default_context)
     poll_interval: float = 0.05
+    #: restore task bootstraps from the content-addressed checkpoint
+    #: cache (built on first use); results stay byte-identical to cold
+    #: runs — see docs/CHECKPOINTS.md
+    warm_start: bool = False
+    #: cache directory (default: ``<store>/checkpoints``); setting it
+    #: implies ``warm_start``
+    checkpoint_dir: Optional[str] = None
 
 
 def _execute(task_type: str, params: Dict[str, Any]) -> Tuple[str, Any, Dict[str, Any]]:
@@ -72,7 +79,11 @@ def _execute(task_type: str, params: Dict[str, Any]) -> Tuple[str, Any, Dict[str
 
     from repro.obs.runtime import ObsSession, activate, deactivate
 
+    from repro.campaign.tasks import warm_store
+
     t0 = time.perf_counter()
+    store = warm_store()
+    ckpt_before = store.counters() if store is not None else None
     obs_session = activate(ObsSession(metrics=True))
     try:
         result = run_task(task_type, params)
@@ -86,13 +97,25 @@ def _execute(task_type: str, params: Dict[str, Any]) -> Tuple[str, Any, Dict[str
         "max_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         "metrics": obs_session.merged_snapshot(),
     }
+    if store is not None:
+        # per-task checkpoint accounting: counter deltas this task
+        # caused (hits/misses/build seconds), truthful under --resume
+        after = store.counters()
+        telemetry["checkpoint"] = {
+            key: after[key] - ckpt_before[key] for key in after
+        }
     return status, payload, telemetry
 
 
-def _worker_main(worker_id: int, inbox, outbox) -> None:
+def _worker_main(worker_id: int, inbox, outbox, warm_dir: Optional[str] = None) -> None:
     # the parent owns interrupt handling: workers ignore SIGINT so a
     # Ctrl-C drains instead of killing in-flight tasks mid-simulation
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    if warm_dir is not None:
+        from repro.campaign.tasks import set_warm_store
+        from repro.snapshot import CheckpointStore
+
+        set_warm_store(CheckpointStore(warm_dir))
     while True:
         message = inbox.get()
         if message[0] == "stop":
@@ -105,13 +128,14 @@ def _worker_main(worker_id: int, inbox, outbox) -> None:
 class _Worker:
     """A pool slot: process + its private inbox/outbox."""
 
-    def __init__(self, ctx, worker_id: int):
+    def __init__(self, ctx, worker_id: int, warm_dir: Optional[str] = None):
         self.id = worker_id
+        self.warm_dir = warm_dir
         self.inbox = ctx.Queue()
         self.outbox = ctx.Queue()
         self.process = ctx.Process(
             target=_worker_main,
-            args=(worker_id, self.inbox, self.outbox),
+            args=(worker_id, self.inbox, self.outbox, warm_dir),
             daemon=True,
         )
         self.process.start()
@@ -181,6 +205,13 @@ class CampaignRunner:
         self._abort = False
         self._completed = 0
         self._failed: List[str] = []
+        #: warm-start state: cache dir (None = cold), task key ->
+        #: bootstrap-prefix group, gating bookkeeping (see _run_pool)
+        self._warm_dir: Optional[str] = None
+        self._group_of: Dict[str, str] = {}
+        self._group_open: set = set()
+        self._group_leader: Dict[str, str] = {}
+        self._ckpt_totals = {"hits": 0, "misses": 0, "build_seconds": 0.0}
 
     # --- public API -------------------------------------------------------
 
@@ -210,6 +241,12 @@ class CampaignRunner:
             self.progress.done = len(done_before)
             self.progress.skipped(len(done_before))
 
+        if self.options.warm_start or self.options.checkpoint_dir is not None:
+            self._warm_dir = self.options.checkpoint_dir or str(
+                self.store.root / "checkpoints"
+            )
+            self._index_bootstrap_groups(pending)
+
         started = time.monotonic()
         previous_handler = signal.getsignal(signal.SIGINT)
 
@@ -231,7 +268,18 @@ class CampaignRunner:
             can_trap = False
         try:
             if self.options.jobs <= 1:
-                self._run_inline(pending)
+                inline_store = None
+                if self._warm_dir is not None:
+                    from repro.campaign.tasks import set_warm_store
+                    from repro.snapshot import CheckpointStore
+
+                    inline_store = CheckpointStore(self._warm_dir)
+                    set_warm_store(inline_store)
+                try:
+                    self._run_inline(pending)
+                finally:
+                    if inline_store is not None:
+                        set_warm_store(None)
             else:
                 self._run_pool(pending)
         finally:
@@ -257,9 +305,48 @@ class CampaignRunner:
             "utilization": (self.progress.utilization() if self.progress else None),
             "cpu_count": os.cpu_count(),
             "python": platform.python_version(),
+            "warm_start": self._warm_dir is not None,
+            "checkpoint_dir": self._warm_dir,
+            "checkpoint_hits": self._ckpt_totals["hits"],
+            "checkpoint_misses": self._ckpt_totals["misses"],
+            "checkpoint_build_seconds": self._ckpt_totals["build_seconds"],
+            "checkpoint_saved_seconds_est": self._ckpt_saved_estimate(),
         }
         self.store.write_manifest(manifest)
         return manifest
+
+    # --- warm-start bookkeeping -------------------------------------------
+
+    def _index_bootstrap_groups(self, pending: List[TaskSpec]) -> None:
+        """Map each pending task to its bootstrap-prefix group (the
+        checkpoint key of its bootstrap spec) so the pool can gate
+        group members behind one leader build."""
+        from repro.campaign.tasks import bootstrap_spec_of
+        from repro.snapshot import checkpoint_key
+
+        for task in pending:
+            try:
+                spec = bootstrap_spec_of(task.task_type, task.params)
+            except Exception:
+                continue  # malformed params fail inside the task instead
+            if spec is not None:
+                self._group_of[task.key] = checkpoint_key(spec)
+        if self.progress and self._group_of:
+            groups = len(set(self._group_of.values()))
+            self.progress.note(
+                f"warm-start: {len(self._group_of)} task(s) share "
+                f"{groups} bootstrap checkpoint(s) ({self._warm_dir})"
+            )
+
+    def _ckpt_saved_estimate(self) -> float:
+        """Wall-seconds the cache saved this run: hits × mean observed
+        build cost (0.0 when nothing was built to calibrate against)."""
+        if self._ckpt_totals["misses"] == 0:
+            return 0.0
+        mean_build = (
+            self._ckpt_totals["build_seconds"] / self._ckpt_totals["misses"]
+        )
+        return self._ckpt_totals["hits"] * mean_build
 
     # --- record keeping ---------------------------------------------------
 
@@ -272,6 +359,7 @@ class CampaignRunner:
         attempt: int,
         worker: int,
     ) -> None:
+        checkpoint = telemetry.get("checkpoint")
         record = {
             "key": task.key,
             "task": task.task_type,
@@ -285,14 +373,27 @@ class CampaignRunner:
             "metrics": telemetry.get("metrics"),
             "worker": worker,
         }
+        if checkpoint is not None:
+            record["checkpoint"] = checkpoint
+            for key in self._ckpt_totals:
+                self._ckpt_totals[key] += checkpoint.get(key, 0)
         self.store.append(record)
         if status == "ok":
             self._completed += 1
         else:
             self._failed.append(task.key)
+        # the task's bootstrap checkpoint now exists (or its build
+        # definitively failed): release any gated group members
+        group = self._group_of.get(task.key)
+        if group is not None:
+            self._group_open.add(group)
+            self._group_leader.pop(group, None)
         if self.progress:
+            # the kwarg only travels on warm-start runs: cold runs keep
+            # working with duck-typed reporters that predate it
+            kwargs = {"checkpoint": checkpoint} if checkpoint is not None else {}
             self.progress.task_done(
-                task.label(), status, telemetry.get("wall_s", 0.0)
+                task.label(), status, telemetry.get("wall_s", 0.0), **kwargs
             )
 
     def _retry_or_fail(
@@ -338,12 +439,34 @@ class CampaignRunner:
 
     # --- pool path --------------------------------------------------------
 
+    def _dispatchable(self, task: TaskSpec) -> bool:
+        """False while the task's bootstrap group is gated behind an
+        in-flight leader: the leader's build will land the shared
+        checkpoint, so members dispatched later all hit the cache
+        instead of racing N duplicate builds across the pool."""
+        group = self._group_of.get(task.key)
+        if group is None or group in self._group_open:
+            return True
+        leader = self._group_leader.get(group)
+        return leader is None or leader == task.key
+
+    def _take_dispatchable(
+        self, ready: List[Tuple[int, TaskSpec]]
+    ) -> Optional[Tuple[int, TaskSpec]]:
+        for index, (attempt, task) in enumerate(ready):
+            if self._dispatchable(task):
+                group = self._group_of.get(task.key)
+                if group is not None and group not in self._group_open:
+                    self._group_leader[group] = task.key
+                return ready.pop(index)
+        return None
+
     def _run_pool(self, pending: List[TaskSpec]) -> None:
         import multiprocessing as mp
 
         ctx = mp.get_context(self.options.mp_context)
         jobs = min(self.options.jobs, max(len(pending), 1))
-        workers = [_Worker(ctx, i) for i in range(jobs)]
+        workers = [_Worker(ctx, i, self._warm_dir) for i in range(jobs)]
         ready: List[Tuple[int, TaskSpec]] = [(0, t) for t in pending]
         delayed: List[Tuple[float, int, TaskSpec]] = []
         try:
@@ -356,7 +479,10 @@ class CampaignRunner:
                 if not self._drain:
                     for worker in workers:
                         if ready and not worker.busy:
-                            attempt, task = ready.pop(0)
+                            item = self._take_dispatchable(ready)
+                            if item is None:
+                                break
+                            attempt, task = item
                             worker.dispatch(task, attempt)
                 idle = not any(w.busy for w in workers)
                 if idle and (self._drain or (not ready and not delayed)):
@@ -384,7 +510,7 @@ class CampaignRunner:
                         task, attempt = worker.task, worker.attempt
                         exitcode = worker.process.exitcode
                         worker.kill()
-                        workers[i] = _Worker(ctx, worker.id)
+                        workers[i] = _Worker(ctx, worker.id, self._warm_dir)
                         progressed = True
                         self._retry_or_fail(
                             task,
@@ -402,7 +528,7 @@ class CampaignRunner:
                     ):
                         task, attempt = worker.task, worker.attempt
                         worker.kill()
-                        workers[i] = _Worker(ctx, worker.id)
+                        workers[i] = _Worker(ctx, worker.id, self._warm_dir)
                         progressed = True
                         self._retry_or_fail(
                             task,

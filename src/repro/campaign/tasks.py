@@ -31,13 +31,55 @@ from __future__ import annotations
 import contextlib
 import io
 from pathlib import Path
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
 from repro.sim import MINUTES
 
 TaskFn = Callable[[Dict[str, Any]], Dict[str, Any]]
 
 _REGISTRY: Dict[str, TaskFn] = {}
+
+# --------------------------------------------------------------------------
+# warm-start context (out of band, so params — and task keys — never change)
+# --------------------------------------------------------------------------
+
+#: the process's checkpoint store for warm-started bootstraps, or None
+#: (cold).  Set by the campaign runner — in the parent for ``--jobs 1``,
+#: at worker startup for the pool — NOT passed through task params:
+#: a task's content-hashed key must not depend on cache location.
+_WARM_STORE: Optional[Any] = None
+
+#: ``task_type -> (params -> bootstrap spec dict)`` for task types whose
+#: experiment has a warm-startable bootstrap.  The runner uses it to
+#: group tasks sharing a bootstrap prefix (one build, many restores);
+#: the spec function must mirror exactly what the task passes to its
+#: experiment's ``bootstrap_spec``.
+_BOOTSTRAP_SPECS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {}
+
+
+def set_warm_store(store: Optional[Any]) -> None:
+    """Install (or clear, with None) this process's checkpoint store."""
+    global _WARM_STORE
+    _WARM_STORE = store
+
+
+def warm_store() -> Optional[Any]:
+    return _WARM_STORE
+
+
+def register_bootstrap_spec(
+    task_type: str, fn: Callable[[Dict[str, Any]], Dict[str, Any]]
+) -> None:
+    _BOOTSTRAP_SPECS[task_type] = fn
+
+
+def bootstrap_spec_of(
+    task_type: str, params: Dict[str, Any]
+) -> Optional[Dict[str, Any]]:
+    """The bootstrap spec a task's warm-start would key on, or None if
+    the task type has no warm-startable bootstrap."""
+    fn = _BOOTSTRAP_SPECS.get(task_type)
+    return fn(params) if fn is not None else None
 
 
 def register_task(name: str, fn: TaskFn | None = None):
@@ -131,17 +173,26 @@ def churn_point(params: Dict[str, Any]) -> Dict[str, Any]:
         mean_downtime=float(params.get("mean_downtime", 5 * MINUTES)),
         queries=int(params.get("queries", 60)),
         seed=int(params.get("seed", 1)),
+        checkpoint_store=warm_store(),
     )
     return dataclasses.asdict(point)
 
 
-@register_task("load")
-def load_point(params: Dict[str, Any]) -> Dict[str, Any]:
-    """One workload run on one overlay configuration.  Returns the
-    query-operation SLO as flat scalars (what the cross-seed aggregator
-    consumes) plus the trace digest (a string, skipped by aggregation
-    but persisted for byte-identity checks)."""
-    from repro.experiments.load_exp import run_load
+def _churn_bootstrap_spec(params: Dict[str, Any]) -> Dict[str, Any]:
+    # mirrors churn_point's run_point call: default warmup, no config
+    from repro.experiments.churn_exp import bootstrap_spec
+
+    return bootstrap_spec(
+        r=int(params.get("r", 16)), seed=int(params.get("seed", 1))
+    )
+
+
+register_bootstrap_spec("churn", _churn_bootstrap_spec)
+
+
+def _load_workload_spec(params: Dict[str, Any]):
+    """The (WorkloadSpec, r, seed) a ``load`` task's params describe
+    (shared by the task body and its bootstrap-spec function)."""
     from repro.workload import WorkloadSpec
 
     r = int(params.get("r", 12))
@@ -166,7 +217,23 @@ def load_point(params: Dict[str, Any]) -> Dict[str, Any]:
         closed_clients=int(params.get("closed_clients", 0)),
         timeout=float(params.get("timeout", 10.0)),
     )
-    run = run_load(spec, r=r, seed=seed, record=True)
+    return spec, r, seed
+
+
+@register_task("load")
+def load_point(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One workload run on one overlay configuration.  Returns the
+    query-operation SLO as flat scalars (what the cross-seed aggregator
+    consumes) plus the trace digest (a string, skipped by aggregation
+    but persisted for byte-identity checks)."""
+    from repro.experiments.load_exp import run_load
+
+    spec, r, seed = _load_workload_spec(params)
+    rate = float(params.get("rate", 2.0))
+    skew = float(params.get("skew", 1.0))
+    run = run_load(
+        spec, r=r, seed=seed, record=True, checkpoint_store=warm_store()
+    )
     snapshot = run.snapshot()
     query = snapshot.get("load.query", {})
     return {
@@ -187,11 +254,21 @@ def load_point(params: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _load_bootstrap_spec(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.experiments.load_exp import bootstrap_spec
+
+    spec, r, seed = _load_workload_spec(params)
+    return bootstrap_spec(spec, r, seed=seed)
+
+
+register_bootstrap_spec("load", _load_bootstrap_spec)
+
+
 @register_task("experiment")
 def experiment_task(params: Dict[str, Any]) -> Dict[str, Any]:
     """Run one whole experiment module; capture its rendered output and
     route its structured results through the existing exporter."""
-    from repro.experiments.cli import EXPERIMENTS
+    from repro.experiments.cli import EXPERIMENTS, WARMSTART_EXPERIMENTS
     from repro.experiments.export import save_results
 
     name = params["name"]
@@ -199,9 +276,12 @@ def experiment_task(params: Dict[str, Any]) -> Dict[str, Any]:
     seed = int(params.get("seed", 1))
     out = params.get("out")
 
+    kwargs: Dict[str, Any] = {"full": full, "seed": seed}
+    if warm_store() is not None and name in WARMSTART_EXPERIMENTS:
+        kwargs["checkpoint_store"] = warm_store()
     buffer = io.StringIO()
     with contextlib.redirect_stdout(buffer):
-        results = EXPERIMENTS[name](full=full, seed=seed)
+        results = EXPERIMENTS[name](**kwargs)
 
     written = []
     if out is not None:

@@ -107,6 +107,24 @@ class _Outstanding:
     done: bool = False
 
 
+class _OnConnectedHook:
+    """Picklable lease-connected chain: run the previously installed
+    hook (if any), then trigger an SRDI re-push.  A closure here would
+    make every edge peer — and so every network — unpicklable for
+    :mod:`repro.snapshot`."""
+
+    __slots__ = ("previous", "pusher")
+
+    def __init__(self, previous, pusher) -> None:
+        self.previous = previous
+        self.pusher = pusher
+
+    def __call__(self, rdv_adv) -> None:
+        if self.previous is not None:
+            self.previous(rdv_adv)
+        self.pusher.rendezvous_changed()
+
+
 class DiscoveryService(QueryHandler):
     """Publish/discover advertisements over the LC-DHT."""
 
@@ -161,13 +179,15 @@ class DiscoveryService(QueryHandler):
 
         if is_rendezvous:
             # periodic SRDI garbage collection: expired records must
-            # not keep inflating the per-query matching cost
+            # not keep inflating the per-query matching cost.  A bound
+            # method (not a lambda) so the service — and therefore any
+            # network it belongs to — stays snapshot-picklable.
             from repro.sim.process import PeriodicTask
 
             self._srdi_gc = PeriodicTask(
                 sim,
                 5 * 60.0,
-                lambda: self.srdi.purge_expired(sim.now),
+                self._purge_srdi,
                 name=f"srdi-gc:{resolver.endpoint.peer_id.short()}",
                 start_jitter=min(60.0, config.startup_jitter + 1.0),
             )
@@ -179,18 +199,19 @@ class DiscoveryService(QueryHandler):
                 name=f"srdi:{resolver.endpoint.peer_id.short()}",
             )
             # re-publish all indexes when (re)connecting to a rendezvous
-            previous_hook = lease_client.on_connected
-            def _on_connected(rdv_adv, _prev=previous_hook):
-                if _prev is not None:
-                    _prev(rdv_adv)
-                self.pusher.rendezvous_changed()
-            lease_client.on_connected = _on_connected
+            lease_client.on_connected = _OnConnectedHook(
+                lease_client.on_connected, self.pusher
+            )
         else:
             self.pusher = None
 
     # ------------------------------------------------------------------
     # maintenance lifecycle (rendezvous side)
     # ------------------------------------------------------------------
+    def _purge_srdi(self) -> None:
+        """Periodic-task callback: drop expired SRDI records."""
+        self.srdi.purge_expired(self.sim.now)
+
     def start_maintenance(self) -> None:
         """Start the rendezvous-side SRDI garbage collector."""
         if self._srdi_gc is not None and not self._srdi_gc.started:

@@ -17,8 +17,9 @@ the walk fall-back compensates for stale replica placements.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+import os
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.advertisement.testadv import FakeAdvertisement
 from repro.config import PlatformConfig
@@ -33,6 +34,12 @@ from repro.metrics import render_table
 from repro.network.churn import ChurnProcess, ExponentialChurn
 from repro.network import Network
 from repro.sim import HOURS, MINUTES, Simulator
+from repro.snapshot import (
+    CheckpointStore,
+    disown_network,
+    restore_network,
+    snapshot_network,
+)
 
 
 @dataclass
@@ -46,15 +53,42 @@ class ChurnPoint:
     walk_steps: int
 
 
-def run_point(
+#: advertisements published before the churn starts, so replica
+#: placements cover the whole hash space and most land on rendezvous
+#: that will churn
+TARGET_COUNT = 20
+
+
+def bootstrap_spec(
     r: int = 24,
-    mean_session: float = 20 * MINUTES,
-    mean_downtime: float = 5 * MINUTES,
-    queries: int = 60,
     seed: int = 1,
     warmup: float = 15 * MINUTES,
     config: Optional[PlatformConfig] = None,
-) -> ChurnPoint:
+) -> Dict[str, Any]:
+    """Checkpoint key for the churn bootstrap.  The churn laws
+    (``mean_session``/``mean_downtime``) and ``queries`` are
+    measurement-phase knobs — the whole session matrix at one (r, seed)
+    shares a single warmed overlay."""
+    cfg = config if config is not None else PlatformConfig()
+    return {
+        "experiment": "churn",
+        "r": r,
+        "seed": seed,
+        "warmup": warmup,
+        "targets": TARGET_COUNT,
+        "scheduler": os.environ.get("REPRO_SCHEDULER", "wheel"),
+        "config": asdict(cfg),
+    }
+
+
+def _bootstrap(
+    r: int,
+    seed: int,
+    warmup: float,
+    config: Optional[PlatformConfig],
+) -> Tuple[Network, Any]:
+    """Deploy, publish the churn targets and warm up (the churn-law-
+    independent prefix of :func:`run_point`)."""
     sim = Simulator(seed=seed)
     network = Network(sim)
     cfg = config if config is not None else PlatformConfig()
@@ -66,16 +100,54 @@ def run_point(
         ),
     )
     overlay.start()
-    publisher, searcher = overlay.edges
+    publisher = overlay.edges[0]
     sim.run(until=2 * MINUTES)
-    # many advertisements, so replica placements cover the whole hash
-    # space and most land on rendezvous that will churn
-    target_count = 20
-    for i in range(target_count):
+    for i in range(TARGET_COUNT):
         publisher.discovery.publish(
             FakeAdvertisement(f"ChurnTarget-{i}"), expiration=12 * HOURS
         )
     sim.run(until=warmup)
+    return network, overlay
+
+
+def build_checkpoint(
+    r: int = 24,
+    seed: int = 1,
+    warmup: float = 15 * MINUTES,
+    config: Optional[PlatformConfig] = None,
+) -> bytes:
+    """Bootstrap once and capture the blob (``build`` callable of
+    :meth:`CheckpointStore.load_or_build`)."""
+    network, overlay = _bootstrap(r, seed, warmup, config)
+    blob = snapshot_network(network, extra={"overlay": overlay})
+    disown_network(network)
+    return blob
+
+
+def run_point(
+    r: int = 24,
+    mean_session: float = 20 * MINUTES,
+    mean_downtime: float = 5 * MINUTES,
+    queries: int = 60,
+    seed: int = 1,
+    warmup: float = 15 * MINUTES,
+    config: Optional[PlatformConfig] = None,
+    checkpoint_store: Optional[CheckpointStore] = None,
+) -> ChurnPoint:
+    if checkpoint_store is None:
+        network, overlay = _bootstrap(r, seed, warmup, config)
+    else:
+        blob, _hit = checkpoint_store.load_or_build(
+            bootstrap_spec(r, seed=seed, warmup=warmup, config=config),
+            lambda: build_checkpoint(
+                r, seed=seed, warmup=warmup, config=config
+            ),
+        )
+        network, extra = restore_network(blob)
+        overlay = extra["overlay"]
+    sim = network.sim
+    searcher = overlay.edges[1]
+    target_count = TARGET_COUNT
 
     # churn every rendezvous except the two the edges lease to
     protected = {0, (r // 2) % r}
@@ -157,13 +229,17 @@ def run(
     queries: int = 60,
     seed: int = 1,
     verbose: bool = False,
+    checkpoint_store: Optional[CheckpointStore] = None,
 ) -> List[ChurnPoint]:
     out = []
     for session in sessions:
         if verbose:
             print(f"# churn mean session {session / 60:.0f}min ...", flush=True)
         out.append(
-            run_point(r=r, mean_session=session, queries=queries, seed=seed)
+            run_point(
+                r=r, mean_session=session, queries=queries, seed=seed,
+                checkpoint_store=checkpoint_store,
+            )
         )
     return out
 
@@ -188,8 +264,15 @@ def render(points: List[ChurnPoint]) -> str:
     )
 
 
-def main(full: bool = False, seed: int = 1) -> List[ChurnPoint]:
-    points = run(r=32 if full else 16, seed=seed, verbose=True)
+def main(
+    full: bool = False,
+    seed: int = 1,
+    checkpoint_store: Optional[CheckpointStore] = None,
+) -> List[ChurnPoint]:
+    points = run(
+        r=32 if full else 16, seed=seed, verbose=True,
+        checkpoint_store=checkpoint_store,
+    )
     print(render(points))
     return points
 

@@ -54,6 +54,22 @@ EXPERIMENTS = {
     "calibration": calibration_exp.main,
 }
 
+#: experiments whose ``main`` accepts ``checkpoint_store=`` (their
+#: bootstrap is split out for --warm-start; see docs/CHECKPOINTS.md)
+WARMSTART_EXPERIMENTS = frozenset({"fig4-right", "churn", "load"})
+
+#: default on-disk location of the content-addressed checkpoint cache
+DEFAULT_CHECKPOINT_DIR = ".repro-checkpoints"
+
+
+def _invoke(name: str, args, checkpoint_store, seed: int):
+    """Run one experiment main, threading the checkpoint store into
+    the ones that support warm-starting."""
+    kwargs = {"full": args.full, "seed": seed}
+    if checkpoint_store is not None and name in WARMSTART_EXPERIMENTS:
+        kwargs["checkpoint_store"] = checkpoint_store
+    return EXPERIMENTS[name](**kwargs)
+
 
 def main(argv=None) -> int:
     if argv is None:
@@ -119,6 +135,28 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--warm-start",
+        action="store_true",
+        help=(
+            "restore the deploy + warm-up bootstrap from the "
+            "content-addressed checkpoint cache when a matching "
+            "checkpoint exists (building and storing it otherwise); "
+            "results are byte-identical to a cold run — see "
+            "docs/CHECKPOINTS.md.  Supported by: "
+            + ", ".join(sorted(WARMSTART_EXPERIMENTS))
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help=(
+            "where the checkpoint cache lives (default: "
+            f"{DEFAULT_CHECKPOINT_DIR}/); implies --warm-start"
+        ),
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help=(
@@ -148,6 +186,13 @@ def main(argv=None) -> int:
 
     if args.seeds < 1:
         parser.error("--seeds must be >= 1")
+    checkpoint_store = None
+    if args.warm_start or args.checkpoint_dir is not None:
+        from repro.snapshot import CheckpointStore
+
+        checkpoint_store = CheckpointStore(
+            args.checkpoint_dir or DEFAULT_CHECKPOINT_DIR
+        )
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         if args.experiment == "all":
@@ -159,9 +204,9 @@ def main(argv=None) -> int:
             obs_session = activate(ObsSession(metrics=True))
         try:
             if args.profile:
-                results = _run_profiled(name, args)
+                results = _run_profiled(name, args, checkpoint_store)
             else:
-                results = EXPERIMENTS[name](full=args.full, seed=args.seed)
+                results = _invoke(name, args, checkpoint_store, args.seed)
         finally:
             if obs_session is not None:
                 from repro.obs.runtime import deactivate
@@ -177,7 +222,14 @@ def main(argv=None) -> int:
             for path in save_results(name, results, Path(args.out)):
                 print(f"# wrote {path}")
         if args.seeds > 1:
-            _run_seed_spread(name, results, args)
+            _run_seed_spread(name, results, args, checkpoint_store)
+    if checkpoint_store is not None:
+        c = checkpoint_store.counters()
+        print(
+            f"\n# checkpoints: {c['hits']} hit(s), {c['misses']} miss(es), "
+            f"{c['build_seconds']:.1f}s spent building "
+            f"(cache: {checkpoint_store.root})"
+        )
     return 0
 
 
@@ -199,7 +251,7 @@ def _write_metrics_snapshot(name: str, obs_session, args, many: bool) -> None:
     print(render_metrics(snapshot))
 
 
-def _run_seed_spread(name: str, first_results, args) -> None:
+def _run_seed_spread(name: str, first_results, args, checkpoint_store=None) -> None:
     """Re-run ``name`` for the remaining seeds and print the cross-seed
     spread via the campaign aggregator."""
     from repro.campaign.aggregate import (
@@ -211,7 +263,7 @@ def _run_seed_spread(name: str, first_results, args) -> None:
     per_seed = {args.seed: first_results}
     for seed in range(args.seed + 1, args.seed + args.seeds):
         print(f"# seed {seed} ...", flush=True)
-        per_seed[seed] = EXPERIMENTS[name](full=args.full, seed=seed)
+        per_seed[seed] = _invoke(name, args, checkpoint_store, seed)
     records = experiment_seed_records(name, per_seed)
     rows, _ = aggregate_records(records, campaign=name)
     if not rows:
@@ -231,7 +283,7 @@ def _run_seed_spread(name: str, first_results, args) -> None:
             print(f"# wrote {path}")
 
 
-def _run_profiled(name: str, args):
+def _run_profiled(name: str, args, checkpoint_store=None):
     """Run one experiment under cProfile; report and dump the stats."""
     import cProfile
     import pstats
@@ -239,7 +291,7 @@ def _run_profiled(name: str, args):
     profiler = cProfile.Profile()
     profiler.enable()
     try:
-        results = EXPERIMENTS[name](full=args.full, seed=args.seed)
+        results = _invoke(name, args, checkpoint_store, args.seed)
     finally:
         profiler.disable()
         dump_path = args.profile_out or f"profile-{name}.prof"

@@ -19,8 +19,9 @@ Expected shapes (paper): configuration A stays ≈12 ms up to r = 50
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+import os
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.advertisement.peeradv import PeerAdvertisement
 from repro.config import PlatformConfig
@@ -34,6 +35,12 @@ from repro.experiments.common import (
 from repro.metrics import render_table
 from repro.network import Network
 from repro.sim import HOURS, MINUTES, Simulator
+from repro.snapshot import (
+    CheckpointStore,
+    disown_network,
+    restore_network,
+    snapshot_network,
+)
 from repro.workload import noiser_catalog, publish_catalog
 
 #: r values of the paper's sweep (x axis 0..200).
@@ -68,25 +75,45 @@ class Fig4RightPoint:
         return (sum((v - mean) ** 2 for v in ok) / len(ok)) ** 0.5
 
 
-def run_point(
+def bootstrap_spec(
     r: int,
     with_noise: bool,
-    queries: int = 100,
     seed: int = 1,
     warmup: float = 45 * MINUTES,
     noisers: int = NOISER_COUNT,
     fakes_per_noiser: int = FAKES_PER_NOISER,
     config: Optional[PlatformConfig] = None,
-) -> Fig4RightPoint:
-    """Measure the mean discovery time for one overlay size.
+) -> Dict[str, Any]:
+    """Canonical description of everything the warm-started state
+    depends on: the :class:`~repro.snapshot.CheckpointStore` key.
+    Measurement-only knobs (``queries``) are deliberately absent —
+    points that differ only there share one checkpoint."""
+    cfg = config if config is not None else PlatformConfig()
+    noiser_count = noisers if with_noise else 0
+    return {
+        "experiment": "fig4_right",
+        "r": r,
+        "with_noise": with_noise,
+        "seed": seed,
+        "warmup": max(warmup, 4 * MINUTES),
+        "noisers": noiser_count,
+        "fakes_per_noiser": fakes_per_noiser if noiser_count else 0,
+        "scheduler": os.environ.get("REPRO_SCHEDULER", "wheel"),
+        "config": asdict(cfg),
+    }
 
-    The publisher attaches to the first rendezvous and the searcher to
-    a different one (when r > 1); noisers spread over
-    ``NOISER_RDV_SPREAD`` rendezvous.  Queries start only after the
-    warm-up, mirroring the paper's "publishing and searching jobs delay
-    their execution time [until] local peerviews of rendezvous peers
-    entered their phase 3".
-    """
+
+def _bootstrap(
+    r: int,
+    with_noise: bool,
+    seed: int,
+    warmup: float,
+    noisers: int,
+    fakes_per_noiser: int,
+    config: Optional[PlatformConfig],
+) -> Tuple[Network, Any]:
+    """Deploy and warm up one fig4-right overlay (the expensive,
+    measurement-independent prefix of :func:`run_point`)."""
     sim = Simulator(seed=seed)
     network = Network(sim)
     cfg = config if config is not None else PlatformConfig()
@@ -104,7 +131,7 @@ def run_point(
         ),
     )
     overlay.start()
-    publisher, searcher = overlay.edges[0], overlay.edges[1]
+    publisher = overlay.edges[0]
     noiser_edges = overlay.edges[2:]
 
     # let leases establish, then generate the noise workload: the
@@ -127,6 +154,73 @@ def run_point(
 
     # warm-up: peerviews into phase 3, SRDI pushed and replicated
     sim.run(until=max(warmup, 4 * MINUTES))
+    return network, overlay
+
+
+def build_checkpoint(
+    r: int,
+    with_noise: bool,
+    seed: int = 1,
+    warmup: float = 45 * MINUTES,
+    noisers: int = NOISER_COUNT,
+    fakes_per_noiser: int = FAKES_PER_NOISER,
+    config: Optional[PlatformConfig] = None,
+) -> bytes:
+    """Run the bootstrap and capture it as a checkpoint blob (the
+    ``build`` callable of :meth:`CheckpointStore.load_or_build`)."""
+    network, overlay = _bootstrap(
+        r, with_noise, seed, warmup, noisers, fakes_per_noiser, config
+    )
+    blob = snapshot_network(network, extra={"overlay": overlay})
+    disown_network(network)
+    return blob
+
+
+def run_point(
+    r: int,
+    with_noise: bool,
+    queries: int = 100,
+    seed: int = 1,
+    warmup: float = 45 * MINUTES,
+    noisers: int = NOISER_COUNT,
+    fakes_per_noiser: int = FAKES_PER_NOISER,
+    config: Optional[PlatformConfig] = None,
+    checkpoint_store: Optional[CheckpointStore] = None,
+) -> Fig4RightPoint:
+    """Measure the mean discovery time for one overlay size.
+
+    The publisher attaches to the first rendezvous and the searcher to
+    a different one (when r > 1); noisers spread over
+    ``NOISER_RDV_SPREAD`` rendezvous.  Queries start only after the
+    warm-up, mirroring the paper's "publishing and searching jobs delay
+    their execution time [until] local peerviews of rendezvous peers
+    entered their phase 3".
+
+    With a ``checkpoint_store``, the bootstrap (deploy + warm-up) is
+    restored from the content-addressed cache when a matching
+    checkpoint exists, and built-then-stored otherwise; either way the
+    measurement phase runs on state byte-identical to a cold run
+    (docs/CHECKPOINTS.md pins that contract).
+    """
+    if checkpoint_store is None:
+        network, overlay = _bootstrap(
+            r, with_noise, seed, warmup, noisers, fakes_per_noiser, config
+        )
+    else:
+        blob, _hit = checkpoint_store.load_or_build(
+            bootstrap_spec(
+                r, with_noise, seed=seed, warmup=warmup, noisers=noisers,
+                fakes_per_noiser=fakes_per_noiser, config=config,
+            ),
+            lambda: build_checkpoint(
+                r, with_noise, seed=seed, warmup=warmup, noisers=noisers,
+                fakes_per_noiser=fakes_per_noiser, config=config,
+            ),
+        )
+        network, extra = restore_network(blob)
+        overlay = extra["overlay"]
+    sim = network.sim
+    searcher = overlay.edges[1]
 
     samples = run_query_sequence(
         sim, searcher, "jxta:PA", "Name", "Test", count=queries
@@ -151,6 +245,7 @@ def run(
     noisers: int = NOISER_COUNT,
     fakes_per_noiser: int = FAKES_PER_NOISER,
     verbose: bool = False,
+    checkpoint_store: Optional[CheckpointStore] = None,
 ) -> List[Fig4RightPoint]:
     """Full sweep: configurations A and B at every r.
 
@@ -170,6 +265,7 @@ def run(
                 run_point(
                     r, with_noise, queries=queries, seed=s, warmup=warmup,
                     noisers=noisers, fakes_per_noiser=fakes_per_noiser,
+                    checkpoint_store=checkpoint_store,
                 )
                 for s in seeds
             ]
@@ -220,16 +316,22 @@ def render(points: List[Fig4RightPoint]) -> str:
     )
 
 
-def main(full: bool = False, seed: int = 1) -> List[Fig4RightPoint]:
+def main(
+    full: bool = False,
+    seed: int = 1,
+    checkpoint_store: Optional[CheckpointStore] = None,
+) -> List[Fig4RightPoint]:
     if full:
         points = run(
             PAPER_R_VALUES, queries=100, seeds=(seed, seed + 1, seed + 2),
             warmup=45 * MINUTES, verbose=True,
+            checkpoint_store=checkpoint_store,
         )
     else:
         points = run(
             CI_R_VALUES, queries=30, seeds=(seed,),
             warmup=8 * MINUTES, noisers=10, fakes_per_noiser=50, verbose=True,
+            checkpoint_store=checkpoint_store,
         )
     print(render(points))
     return points

@@ -20,20 +20,28 @@ a recorded trace as the regression oracle (docs/WORKLOADS.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+import os
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import PlatformConfig
 from repro.deploy import OverlayDescription, build_overlay
 from repro.metrics import render_table
 from repro.network import Network
 from repro.sim import MINUTES, Simulator
+from repro.snapshot import (
+    CheckpointStore,
+    disown_network,
+    restore_network,
+    snapshot_network,
+)
 from repro.workload import (
     TraceOp,
     WorkloadEngine,
     WorkloadSpec,
     WorkloadTraceRecorder,
 )
+from repro.workload.catalog import Catalog, publish_catalog
 from repro.workload.slo import render_slo
 
 #: paper-scale configuration (acceptance floor: ≥100k requests, r=150)
@@ -114,18 +122,115 @@ def _deploy(spec: WorkloadSpec, r: int, seed: int,
     return sim, overlay
 
 
+def bootstrap_spec(
+    spec: WorkloadSpec,
+    r: int,
+    seed: int = 1,
+    config: Optional[PlatformConfig] = None,
+) -> Dict[str, Any]:
+    """Checkpoint key for a load-run bootstrap: overlay shape, seed,
+    warm-up timeline and the *published* face of the catalog (names +
+    payload).  Traffic knobs — arrival kind/rate, popularity skew,
+    duration, timeouts — only shape the measurement phase, so the whole
+    rate × skew grid at one (r, seed) shares a single warmed overlay
+    (popularity weights bias sampling, never the seed burst)."""
+    cfg = config if config is not None else PlatformConfig()
+    catalog = Catalog.from_spec(spec.catalog)
+    return {
+        "experiment": "load",
+        "r": r,
+        "seed": seed,
+        "warmup": spec.warmup,
+        "seed_time": spec.seed_time,
+        "publish_expiration": spec.publish_expiration,
+        "queriers": spec.queriers,
+        "publishers": spec.publishers,
+        "closed_clients": spec.closed_clients,
+        "catalog": {
+            "size": len(catalog),
+            "prefix": spec.catalog.get("prefix", "item"),
+            "payload_bytes": catalog.payload_bytes,
+        },
+        "scheduler": os.environ.get("REPRO_SCHEDULER", "wheel"),
+        "config": asdict(cfg),
+    }
+
+
+def _bootstrap(
+    spec: WorkloadSpec,
+    r: int,
+    seed: int,
+    config: Optional[PlatformConfig],
+) -> Tuple[Any, Any]:
+    """Deploy the overlay, publish the catalog at ``seed_time`` and
+    warm up to ``spec.warmup`` — the traffic-independent prefix of a
+    load run.  The seed burst happens at the same simulated instant,
+    over the same edges, in the same item order as the cold path's
+    ``workload.seed`` event, and every draw it triggers comes from
+    named per-link/per-purpose RNG streams, so downstream state is
+    byte-equivalent (docs/CHECKPOINTS.md)."""
+    sim, overlay = _deploy(spec, r, seed, config)
+    network = overlay.group.network
+    catalog = Catalog.from_spec(spec.catalog)
+    # publish_catalog's partition: publisher edges, or every client
+    # edge when the population has no publishers (mirrors
+    # WorkloadEngine._seed_edges)
+    seed_edges = (
+        overlay.edges[: spec.publishers]
+        if spec.publishers
+        else overlay.edges[: spec.client_count]
+    )
+    sim.run(until=spec.seed_time)
+    publish_catalog(seed_edges, catalog, spec.publish_expiration)
+    sim.run(until=spec.warmup)
+    return network, overlay
+
+
+def build_checkpoint(
+    spec: WorkloadSpec,
+    r: int,
+    seed: int = 1,
+    config: Optional[PlatformConfig] = None,
+) -> bytes:
+    """Bootstrap once and capture the blob (``build`` callable of
+    :meth:`CheckpointStore.load_or_build`)."""
+    network, overlay = _bootstrap(spec, r, seed, config)
+    blob = snapshot_network(network, extra={"overlay": overlay})
+    disown_network(network)
+    return blob
+
+
 def run_load(
     spec: WorkloadSpec,
     r: int,
     seed: int = 1,
     record: bool = False,
     config: Optional[PlatformConfig] = None,
+    checkpoint_store: Optional[CheckpointStore] = None,
 ) -> LoadRun:
-    """Deploy an overlay, run the workload, drain in-flight requests."""
-    sim, overlay = _deploy(spec, r, seed, config)
+    """Deploy an overlay, run the workload, drain in-flight requests.
+
+    With a ``checkpoint_store``, the deploy + seed + warm-up prefix is
+    restored from the content-addressed cache (built on first use) and
+    the engine warm-starts on top — trace bytes and SLO snapshot stay
+    byte-identical to the cold run."""
+    if checkpoint_store is None:
+        sim, overlay = _deploy(spec, r, seed, config)
+        warm = False
+    else:
+        blob, _hit = checkpoint_store.load_or_build(
+            bootstrap_spec(spec, r, seed=seed, config=config),
+            lambda: build_checkpoint(spec, r, seed=seed, config=config),
+        )
+        network, extra = restore_network(blob)
+        sim, overlay = network.sim, extra["overlay"]
+        warm = True
     recorder = WorkloadTraceRecorder() if record else None
     engine = WorkloadEngine(spec, sim, overlay.edges, recorder=recorder)
-    engine.start()
+    if warm:
+        engine.start_warm()
+    else:
+        engine.start()
     sim.run(until=spec.horizon + spec.timeout + DRAIN_SLACK)
     return LoadRun(spec=spec, r=r, seed=seed, engine=engine, recorder=recorder)
 
@@ -234,7 +339,11 @@ def render_results(rows: List[LoadResult]) -> str:
     )
 
 
-def main(full: bool = False, seed: int = 1) -> List[LoadResult]:
+def main(
+    full: bool = False,
+    seed: int = 1,
+    checkpoint_store: Optional[CheckpointStore] = None,
+) -> List[LoadResult]:
     spec = full_spec() if full else ci_spec()
     r = FULL_R if full else CI_R
     print(
@@ -242,7 +351,7 @@ def main(full: bool = False, seed: int = 1) -> List[LoadResult]:
         f"requests expected, seed={seed} ...",
         flush=True,
     )
-    run = run_load(spec, r=r, seed=seed)
+    run = run_load(spec, r=r, seed=seed, checkpoint_store=checkpoint_store)
     print(render(run))
     return results_of(run)
 

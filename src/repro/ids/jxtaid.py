@@ -109,6 +109,22 @@ class JxtaID:
         unique part)."""
         return self._value.hex().upper()[-18:-2][:8]
 
+    # ------------------------------------------------------------------
+    # pickling (repro.snapshot)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> bytes:
+        """Only the raw value round-trips.  The URN cache is derived
+        (recomputed on demand) and the ``_intern`` pair is deliberately
+        dropped: keeping it would drag the entire intern table into any
+        standalone pickle of a single ID, and a restored ID re-caches
+        the same dense key on its first ``intern()`` because table
+        assignments are first-seen-deterministic and the table itself
+        round-trips with the network graph."""
+        return self._value
+
+    def __setstate__(self, state: bytes) -> None:
+        self._value = state
+
     # The ``_intern`` slot caches this ID's interned integer key as a
     # ``(table, key)`` pair (see :mod:`repro.ids.intern`).  It lives
     # here, not in the table, so the common repeat-lookup — the same ID

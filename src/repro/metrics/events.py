@@ -60,6 +60,27 @@ class EventLog:
         return out
 
 
+class PeerViewEventLogger:
+    """Picklable peerview listener (the listener list rides along in
+    simulation snapshots, so a closure would break
+    :mod:`repro.snapshot`): records every add/remove into an
+    :class:`EventLog` under the observer's name."""
+
+    __slots__ = ("log", "observer_name")
+
+    def __init__(self, log: EventLog, observer_name: str) -> None:
+        self.log = log
+        self.observer_name = observer_name
+
+    def __call__(self, event: PeerViewEvent) -> None:
+        self.log.record(
+            time=event.time,
+            observer=self.observer_name,
+            kind=f"peerview.{event.kind}",
+            subject=event.subject.short(),
+        )
+
+
 def attach_peerview_logger(
     log: EventLog, observer_name: str, view
 ) -> Callable[[PeerViewEvent], None]:
@@ -67,14 +88,6 @@ def attach_peerview_logger(
     to ``log``: every add/remove lands as an :class:`EventRecord` with
     kind ``peerview.add`` / ``peerview.remove`` and the subject peer's
     short ID — the raw material of Figure 3."""
-
-    def listener(event: PeerViewEvent) -> None:
-        log.record(
-            time=event.time,
-            observer=observer_name,
-            kind=f"peerview.{event.kind}",
-            subject=event.subject.short(),
-        )
-
+    listener = PeerViewEventLogger(log, observer_name)
     view.add_listener(listener)
     return listener

@@ -222,6 +222,31 @@ class Network:
             _obs_runtime._stack[-1].adopt(self)
 
     # ------------------------------------------------------------------
+    # pickling (repro.snapshot)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Everything round-trips except the id()-based pool-integrity
+        set, which is meaningless in another process and is rebuilt
+        from the envelope pool's contents on restore.  The cached bound
+        methods (``_schedule``, ``_latency_delay``, ...) pickle as
+        ordinary bound methods of the memo-shared simulator/latency
+        objects, so the restored network keeps pointing at the restored
+        simulator."""
+        state = dict(self.__dict__)
+        state["_env_pool_ids"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # integrity checking follows the restoring process's environment
+        self._pool_debug = os.environ.get("REPRO_POOL_DEBUG", "") == "1"
+        self._env_pool_ids = (
+            {id(e) for e in self._envelope_pool}
+            if self._pool_debug
+            else set()
+        )
+
+    # ------------------------------------------------------------------
     # attachment
     # ------------------------------------------------------------------
     def attach(self, address: str, node: Node, handler: Handler) -> None:

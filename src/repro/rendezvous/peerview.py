@@ -182,6 +182,22 @@ class PeerView:
         return view
 
     # ------------------------------------------------------------------
+    # pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Snapshot state without derived/recyclable fields.
+
+        ``_ordered_view`` is a pure memo over ``_order`` (rebuilt on
+        the next ``ordered_ids`` call) and ``_entry_pool`` is a free
+        list of dead entries; both depend on *when* the view was last
+        queried or churned, not on membership, so keeping them would
+        make pickle bytes vary between otherwise-identical views."""
+        state = self.__dict__.copy()
+        state["_ordered_view"] = None
+        state["_entry_pool"] = []
+        return state
+
+    # ------------------------------------------------------------------
     # listeners
     # ------------------------------------------------------------------
     def invalidate_ordered_view(self) -> None:

@@ -181,6 +181,33 @@ class EventHandle:
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
+    # ------------------------------------------------------------------
+    # pickling (repro.snapshot)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Slots may be legitimately unset (the ``schedule`` fast path
+        writes only ``_state`` plus one of ``_label``/``fn``), and
+        ``_DETACHED`` is a module-level sentinel whose identity a pickle
+        round-trip would lose — map it to a marker string.  ``_state``
+        holding the owning :class:`Simulator` pickles through the memo,
+        so handles restored as part of a full simulator graph keep
+        their backref."""
+        state = {}
+        for slot in self.__slots__:
+            try:
+                state[slot] = getattr(self, slot)
+            except AttributeError:
+                pass
+        if state.get("_state") is _DETACHED:
+            state["_state"] = "__detached__"
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        if state.get("_state") == "__detached__":
+            state["_state"] = _DETACHED
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = (
             "cancelled" if self._state is None
@@ -1034,6 +1061,58 @@ class Simulator:
             if gc_was_enabled:
                 gc.enable()
             self._running = False
+
+    # ------------------------------------------------------------------
+    # pickling & checkpointing (repro.snapshot)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """State contract (see docs/CHECKPOINTS.md): every scheduler
+        tier, the clock, the seq counter and the RNG registry pickle
+        verbatim; the run-control flags reset (a snapshot is only legal
+        between ``run`` calls); the id-based pool-integrity set is
+        dropped and rebuilt from the pool contents on restore.  The
+        derived ``_fire_hooks``/``_done_hooks`` views are rebuilt from
+        ``_trace_hooks``."""
+        if self._running:
+            raise SchedulingError(
+                "cannot snapshot a running simulator; snapshot between "
+                "run() calls (an event boundary)"
+            )
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        state["_pool_ids"] = None
+        state["_fire_hooks"] = None
+        state["_done_hooks"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._running = False
+        self._in_fast_loop = False
+        self._stop_requested = False
+        # integrity checking follows the *restoring* process's
+        # environment; the id() sets from the snapshotting process are
+        # meaningless here and are rebuilt from the pool contents
+        self._pool_debug = os.environ.get("REPRO_POOL_DEBUG", "") == "1"
+        self._pool_ids = (
+            {id(h) for h in self._handle_pool} if self._pool_debug else set()
+        )
+        self._rebuild_hook_lists()
+
+    def snapshot(self) -> bytes:
+        """Serialize the complete simulation state (this simulator and
+        everything reachable from its queued events) to bytes.  See
+        :mod:`repro.snapshot`."""
+        from repro.snapshot import snapshot_simulator
+
+        return snapshot_simulator(self)
+
+    @classmethod
+    def restore(cls, blob: bytes) -> "Simulator":
+        """Rebuild a simulator from :meth:`snapshot` output."""
+        from repro.snapshot import restore_simulator
+
+        return restore_simulator(blob)
 
     def stop(self) -> None:
         """Request the current ``run`` call to return after the executing

@@ -45,6 +45,22 @@ class RngRegistry:
         namespace of streams)."""
         return RngRegistry(derive_seed(self.master_seed, name))
 
+    # ------------------------------------------------------------------
+    # pickling (repro.snapshot)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Explicit state contract: the master seed plus every named
+        stream's Mersenne state.  The *stream objects themselves* are
+        pickled (not just their ``getstate()`` tuples) so components
+        that cached a stream reference — e.g. the network transport's
+        ``_latency_rng`` — share the restored object through the pickle
+        memo and keep drawing from the same sequence."""
+        return {"master_seed": self.master_seed, "_streams": self._streams}
+
+    def __setstate__(self, state: dict) -> None:
+        self.master_seed = state["master_seed"]
+        self._streams = state["_streams"]
+
     def __contains__(self, name: str) -> bool:
         return name in self._streams
 

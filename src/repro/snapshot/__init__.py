@@ -1,0 +1,35 @@
+"""Deterministic simulation checkpointing (see docs/CHECKPOINTS.md).
+
+* :func:`snapshot_network` / :func:`restore_network` — byte-exact
+  capture/restore of a live simulation graph at an event boundary.
+* :func:`fork_network` — in-process structured copy, for fanning one
+  bootstrapped network out to many divergent continuations.
+* :class:`CheckpointStore` — content-addressed on-disk cache mapping
+  canonical bootstrap specs to checkpoint blobs (the campaign/CLI
+  warm-start machinery builds on it).
+"""
+
+from repro.snapshot.core import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    disown_network,
+    fork_network,
+    restore_network,
+    restore_simulator,
+    snapshot_network,
+    snapshot_simulator,
+)
+from repro.snapshot.store import CheckpointStore, checkpoint_key
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "CheckpointStore",
+    "SnapshotError",
+    "checkpoint_key",
+    "disown_network",
+    "fork_network",
+    "restore_network",
+    "restore_simulator",
+    "snapshot_network",
+    "snapshot_simulator",
+]

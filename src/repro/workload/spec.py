@@ -214,18 +214,51 @@ class WorkloadEngine:
     def _seed_catalog(self) -> None:
         """Burst-publish the whole catalog over the publisher edges so
         queries have something to find once SRDI propagates."""
-        edges = self._seed_edges
-        if self.recorder is not None:
-            n = len(self.catalog)
-            per_edge = -(-n // len(edges))
-            for i in range(len(edges)):
-                for k in range(i * per_edge, min((i + 1) * per_edge, n)):
-                    self.recorder.record(
-                        self.sim.now, f"seed-{i}", "publish",
-                        self.catalog.names[k],
-                    )
-        publish_catalog(edges, self.catalog, self.spec.publish_expiration)
+        self._record_seed_ops(self.sim.now)
+        publish_catalog(self._seed_edges, self.catalog, self.spec.publish_expiration)
         self.slo.record_success(self.spec.name, "seed")
+
+    def _record_seed_ops(self, t: float) -> None:
+        """Trace the seed burst: one ``seed-{i}`` publish record per
+        item, in :func:`~repro.workload.catalog.publish_catalog`'s
+        contiguous-block partition order."""
+        if self.recorder is None:
+            return
+        edges = self._seed_edges
+        n = len(self.catalog)
+        per_edge = -(-n // len(edges))
+        for i in range(len(edges)):
+            for k in range(i * per_edge, min((i + 1) * per_edge, n)):
+                self.recorder.record(
+                    t, f"seed-{i}", "publish", self.catalog.names[k]
+                )
+
+    def start_warm(self) -> None:
+        """Start against an overlay restored from a warm-start
+        checkpoint whose bootstrap already published the catalog at
+        ``seed_time`` (see :func:`repro.experiments.load_exp
+        .build_checkpoint`).  Reconstructs exactly what the cold path's
+        seed event would have contributed to this engine's trace and
+        SLO — records stamped at ``seed_time``, one ``seed`` success —
+        then starts every client; the run's trace bytes and SLO
+        snapshot come out byte-identical to a cold :meth:`start` run
+        (pinned by the warm-start test suites)."""
+        spec = self.spec
+        if self.sim.now > spec.warmup:
+            raise RuntimeError(
+                f"engine warm-started at t={self.sim.now}, after "
+                f"warmup={spec.warmup}"
+            )
+        if self.sim.now < spec.seed_time:
+            raise RuntimeError(
+                f"engine warm-started at t={self.sim.now}, before "
+                f"seed_time={spec.seed_time}: the checkpoint does not "
+                "contain the seeded catalog"
+            )
+        self._record_seed_ops(spec.seed_time)
+        self.slo.record_success(spec.name, "seed")
+        for client in self.clients:
+            client.start(spec.warmup, spec.horizon)
 
     def stop(self) -> None:
         for client in self.clients:
