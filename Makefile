@@ -4,7 +4,7 @@ PYTHON ?= python
 # worker pool width for campaign sweeps (make experiments JOBS=8)
 JOBS ?= $(shell $(PYTHON) -c "import os; print(os.cpu_count() or 1)")
 
-.PHONY: install test smoke-faults smoke-campaign smoke-load bench profile examples experiments experiments-full load-full clean
+.PHONY: install test smoke-faults smoke-campaign smoke-load fuzz-smoke coverage bench profile examples experiments experiments-full load-full clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -27,6 +27,21 @@ smoke-campaign:
 # sweep --jobs parallel determinism (see docs/WORKLOADS.md)
 smoke-load:
 	$(PYTHON) scripts/load_smoke.py
+
+# fuzzer acceptance checks: canary find+shrink, committed-corpus
+# replay under both schedulers, fuzz-digest identity across --jobs
+# and REPRO_SCHEDULER (see docs/FUZZING.md)
+fuzz-smoke:
+	$(PYTHON) scripts/fuzz_smoke.py
+
+# line coverage of src/repro with a floor (CI installs pytest-cov;
+# locally this is a no-op with a hint when the plugin is missing)
+COV_FLOOR ?= 70
+coverage:
+	@$(PYTHON) -c "import pytest_cov" 2>/dev/null \
+		|| { echo "pytest-cov not installed; skipping (pip install pytest-cov)"; exit 0; } \
+		&& $(PYTHON) -m pytest -q --cov=repro --cov-report=term \
+			--cov-fail-under=$(COV_FLOOR)
 
 # Runs the kernel/protocol benchmarks and appends the numbers to the
 # committed trajectory (BENCH_kernel.json).  Override BENCH_LABEL to

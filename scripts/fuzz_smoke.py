@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""CI acceptance harness for the repro.fuzz subsystem (~2 minutes).
+
+Asserts the headline guarantees end to end:
+
+1. **Canary loop** — with the planted bug armed (``REPRO_CANARY=1``)
+   a fixed-budget fuzz run finds it, classifies it as canary-dependent
+   and shrinks the reproducer to ≤ 8 actions.
+2. **Corpus replay matrix** — the committed ``tests/fuzz_corpus/``
+   entries replay green under both ``REPRO_SCHEDULER=wheel`` and
+   ``heap`` (via the tier-1 replayer suite).
+3. **Determinism** — ``jxta-repro fuzz --seed 0`` prints the same
+   digest across ``--jobs 1`` vs ``--jobs 2`` and across both kernel
+   schedulers.
+
+Exit code 0 on success; any violated guarantee raises.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+SEED = 0
+BUDGET = 24
+BATCH_SIZE = 8
+SCHEDULERS = ("wheel", "heap")
+
+
+def _env(**extra: str) -> dict:
+    env = dict(os.environ)
+    env.pop("REPRO_CANARY", None)
+    env["PYTHONPATH"] = f"{REPO / 'src'}" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.update(extra)
+    return env
+
+
+def check_canary_loop() -> None:
+    from repro.fuzz.engine import FuzzEngine
+
+    os.environ["REPRO_CANARY"] = "1"
+    try:
+        report = FuzzEngine(seed=SEED).run(8)
+    finally:
+        os.environ.pop("REPRO_CANARY", None)
+    failures = report.failures
+    assert failures, "canary bug not found within the smoke budget"
+    for entry in failures:
+        assert entry.requires_canary, (
+            f"{entry.signature} misclassified as a real failure"
+        )
+        assert len(entry.case.actions) <= 8, (
+            f"{entry.signature} reproducer not shrunk: "
+            f"{len(entry.case.actions)} actions"
+        )
+    print(
+        f"fuzz-smoke: canary found and shrunk "
+        f"({len(failures)} signature(s), "
+        f"max {max(len(e.case.actions) for e in failures)} action(s), "
+        f"{report.shrink_probes} shrink probe(s))"
+    )
+
+
+def check_corpus_replay_matrix() -> None:
+    for scheduler in SCHEDULERS:
+        subprocess.run(
+            [sys.executable, "-m", "pytest", "tests/fuzz", "-q",
+             "--no-header", "-p", "no:cacheprovider"],
+            env=_env(REPRO_SCHEDULER=scheduler), check=True, cwd=REPO,
+        )
+        print(f"fuzz-smoke: corpus replays green under {scheduler}")
+
+
+def _fuzz_digest(jobs: int, scheduler: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.fuzz.cli",
+         "--seed", str(SEED), "--budget", str(BUDGET),
+         "--batch-size", str(BATCH_SIZE), "--jobs", str(jobs),
+         "--quiet"],
+        env=_env(REPRO_SCHEDULER=scheduler), check=True, cwd=REPO,
+        capture_output=True, text=True,
+    )
+    match = re.search(r"# digest: ([0-9a-f]{64})", proc.stdout)
+    assert match, f"no digest in output:\n{proc.stdout}"
+    return match.group(1)
+
+
+def check_determinism() -> None:
+    digests = {
+        (jobs, scheduler): _fuzz_digest(jobs, scheduler)
+        for jobs in (1, 2)
+        for scheduler in SCHEDULERS
+    }
+    for key, digest in sorted(digests.items()):
+        print(f"fuzz-smoke: jobs={key[0]} scheduler={key[1]} "
+              f"digest {digest[:16]}…")
+    assert len(set(digests.values())) == 1, (
+        f"fuzz digests diverge across jobs/schedulers: {digests}"
+    )
+    print("fuzz-smoke: --jobs 1 == --jobs 2, wheel == heap")
+
+
+def main() -> int:
+    check_canary_loop()
+    check_corpus_replay_matrix()
+    check_determinism()
+    print("fuzz-smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

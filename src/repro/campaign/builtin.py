@@ -150,6 +150,30 @@ def load_campaign(
     )
 
 
+def fuzz_campaign(
+    full: bool = False, seeds: int = 1, base_seed: int = 1,
+    out: Optional[str] = None,
+) -> CampaignSpec:
+    """Coverage-guided fuzzing fanned out as fixed-size batches.
+
+    ``seeds`` is repurposed as extra batches (each batch already runs
+    under its own derived seed); the registered ``fuzz`` finalizer
+    merges all batch corpora deterministically after aggregation."""
+    batches = (8 if full else 4) * max(1, seeds)
+    return CampaignSpec(
+        name="fuzz",
+        task_type="fuzz",
+        grid={"batch": list(range(batches))},
+        base={
+            "master_seed": base_seed,
+            "batch_size": 25 if full else 10,
+        },
+        description="coverage-guided protocol fuzzing (repro.fuzz): "
+        "independent fixed-size batches, corpora merged "
+        "order-independently by the campaign finalizer",
+    )
+
+
 def all_experiments_campaign(
     full: bool = False, seeds: int = 1, base_seed: int = 1,
     out: Optional[str] = None,
@@ -178,6 +202,7 @@ CAMPAIGNS: Dict[str, Callable[..., CampaignSpec]] = {
     "ablation": ablation_campaign,
     "churn": churn_campaign,
     "load": load_campaign,
+    "fuzz": fuzz_campaign,
     "all": all_experiments_campaign,
 }
 

@@ -24,6 +24,11 @@ Built-in task types:
     ``load`` campaign): open-loop clients against an r-rendezvous
     overlay, reporting the query SLO (p50/p95/p99, timeout rate) plus
     the canonical trace digest.
+``fuzz``
+    One fixed-size coverage-guided fuzzing batch (:mod:`repro.fuzz`).
+    Batches never share corpus state, so the campaign's worker split
+    cannot affect results; the registered campaign *finalizer* merges
+    the batch corpora deterministically into one JSONL + report.
 """
 
 from __future__ import annotations
@@ -107,6 +112,38 @@ def get_task(name: str) -> TaskFn:
 
 def run_task(name: str, params: Dict[str, Any]) -> Dict[str, Any]:
     return get_task(name)(params)
+
+
+# --------------------------------------------------------------------------
+# campaign finalizers (post-aggregation hooks)
+# --------------------------------------------------------------------------
+
+#: ``campaign name -> (records, out_dir) -> list of report lines``.
+#: Called by the sweep CLI after aggregation with every task record;
+#: used by campaigns whose cross-task result is not a numeric
+#: aggregate (e.g. ``fuzz`` merges batch corpora into one JSONL).
+FinalizerFn = Callable[[list, Path], list]
+
+_FINALIZERS: Dict[str, FinalizerFn] = {}
+
+
+def register_finalizer(campaign: str, fn: FinalizerFn | None = None):
+    """Register a campaign finalizer (usable as a decorator)."""
+    if fn is not None:
+        _FINALIZERS[campaign] = fn
+        return fn
+
+    def decorator(func: FinalizerFn) -> FinalizerFn:
+        _FINALIZERS[campaign] = func
+        return func
+
+    return decorator
+
+
+def finalize_campaign(campaign: str, records: list, out_dir: Path) -> list:
+    """Run the campaign's finalizer, if any; returns its report lines."""
+    fn = _FINALIZERS.get(campaign)
+    return fn(records, out_dir) if fn is not None else []
 
 
 # --------------------------------------------------------------------------
@@ -297,3 +334,63 @@ def experiment_task(params: Dict[str, Any]) -> Dict[str, Any]:
         "rendered_chars": len(buffer.getvalue()),
         "files": written,
     }
+
+
+@register_task("fuzz")
+def fuzz_batch(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One coverage-guided fuzzing batch (see :mod:`repro.fuzz`)."""
+    from repro.fuzz.engine import run_batch
+
+    return run_batch(params)
+
+
+@register_finalizer("fuzz")
+def fuzz_finalize(records: list, out_dir: Path) -> list:
+    """Merge the batch corpora into <out>/fuzz-corpus.jsonl plus a
+    campaign-level report, and surface the merged digest — the single
+    string that must match across reruns, worker counts and kernel
+    schedulers."""
+    import json
+
+    from repro.fuzz.corpus import entry_from_dict, save_corpus
+    from repro.fuzz.engine import FuzzReport, merge_reports, report_to_dict
+
+    results = [
+        rec.get("result", rec)
+        for rec in records
+        if rec.get("status", "ok") == "ok"
+    ]
+    reports = [
+        FuzzReport(
+            seed=res["seed"],
+            executed=res["executed"],
+            coverage=tuple(res["coverage"]),
+            entries=[entry_from_dict(e) for e in res["corpus"]],
+            shrink_probes=res["shrink_probes"],
+            skipped=res["skipped_oracles"],
+        )
+        for res in results
+    ]
+    merged = merge_reports(reports)
+    corpus_path = out_dir / "fuzz-corpus.jsonl"
+    save_corpus(corpus_path, merged.entries)
+    report_path = out_dir / "fuzz-report.json"
+    report_path.write_text(
+        json.dumps(report_to_dict(merged), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    lines = [
+        f"# fuzz: {merged.executed} genome(s), "
+        f"{len(merged.coverage)} coverage key(s), "
+        f"{len(merged.failures)} failure(s)",
+        f"# wrote {corpus_path}",
+        f"# wrote {report_path}",
+        f"# fuzz digest: {merged.digest()}",
+    ]
+    for entry in merged.failures:
+        lines.insert(
+            1,
+            f"#   {entry.signature}: {len(entry.case.actions)} action(s)"
+            f"{' [canary]' if entry.requires_canary else ''}",
+        )
+    return lines

@@ -15,6 +15,9 @@ campaign orchestrator (:mod:`repro.campaign`) — see
 ``jxta-repro trace <target>`` runs a target under the observability
 layer (:mod:`repro.obs`) and exports a Perfetto-loadable timeline plus
 a metrics snapshot — see docs/OBSERVABILITY.md.
+
+``jxta-repro fuzz`` runs the coverage-guided deterministic protocol
+fuzzer (:mod:`repro.fuzz`) — see docs/FUZZING.md.
 """
 
 from __future__ import annotations
@@ -85,6 +88,11 @@ def main(argv=None) -> int:
         from repro.obs.cli import trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        # coverage-guided fuzzer (same lazy-import reasoning)
+        from repro.fuzz.cli import fuzz_main
+
+        return fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="jxta-repro",
         description=(

@@ -1,0 +1,200 @@
+"""``jxta-repro fuzz`` — run a deterministic fuzzing campaign.
+
+Budget mode (the default) is fully deterministic: the budget is split
+into fixed-size batches seeded from ``--seed`` and the batch index,
+so ``--jobs 1`` and ``--jobs 2`` (and reruns, and either value of
+``REPRO_SCHEDULER``) print the same corpus, coverage map, failure set
+and digest.  ``--time`` instead keeps launching batches until the
+wall-clock budget is spent — useful for soak runs, at the cost of a
+run-dependent batch count.
+
+Exit status is 1 when any oracle failure was found (after shrinking),
+0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.fuzz.engine import (
+    FuzzReport,
+    merge_reports,
+    report_to_dict,
+    run_batch,
+)
+from repro.fuzz.corpus import entry_from_dict, save_corpus
+from repro.fuzz.runner import ORACLES
+
+
+def _batch_params(
+    master_seed: int, batches: List[int], oracles: Sequence[str]
+) -> List[Dict[str, Any]]:
+    return [
+        {
+            "master_seed": master_seed,
+            "batch": index,
+            "batch_size": size,
+            "oracles": tuple(oracles),
+        }
+        for index, size in enumerate(batches)
+    ]
+
+
+def _split_budget(budget: int, batch_size: int) -> List[int]:
+    """Jobs-independent batch sizes: full batches plus a remainder."""
+    sizes = []
+    remaining = budget
+    while remaining > 0:
+        sizes.append(min(batch_size, remaining))
+        remaining -= sizes[-1]
+    return sizes
+
+
+def _report_from_record(record: Dict[str, Any]) -> FuzzReport:
+    return FuzzReport(
+        seed=record["seed"],
+        executed=record["executed"],
+        coverage=tuple(record["coverage"]),
+        entries=[entry_from_dict(e) for e in record["corpus"]],
+        shrink_probes=record["shrink_probes"],
+        skipped=record["skipped_oracles"],
+    )
+
+
+def _run_batches(
+    params: List[Dict[str, Any]], jobs: int
+) -> List[FuzzReport]:
+    if jobs <= 1 or len(params) <= 1:
+        return [_report_from_record(run_batch(p)) for p in params]
+    import multiprocessing
+
+    with multiprocessing.Pool(processes=jobs) as pool:
+        records = pool.map(run_batch, params)
+    return [_report_from_record(r) for r in records]
+
+
+def fuzz_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="jxta-repro fuzz",
+        description=(
+            "Coverage-guided deterministic fuzzing of the protocol "
+            "stack (see docs/FUZZING.md)."
+        ),
+    )
+    parser.add_argument(
+        "--budget", type=int, default=60,
+        help="number of genomes to execute (default 60)",
+    )
+    parser.add_argument(
+        "--time", type=float, default=None, metavar="S",
+        help=(
+            "run batches until S wall-clock seconds elapsed instead "
+            "of a fixed budget (not deterministic across machines)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="master seed (default 0)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes; does not affect results (default 1)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=20,
+        help="genomes per batch (default 20)",
+    )
+    parser.add_argument(
+        "--oracles", default=None, metavar="A,B",
+        help=f"comma-separated oracle subset (default: all of "
+             f"{','.join(ORACLES)})",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write fuzz-corpus.jsonl and fuzz-report.json to DIR",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+    args = parser.parse_args(argv)
+    if args.budget <= 0 or args.batch_size <= 0:
+        parser.error("--budget and --batch-size must be positive")
+    if args.jobs <= 0:
+        parser.error("--jobs must be positive")
+    oracles = (
+        tuple(s.strip() for s in args.oracles.split(",") if s.strip())
+        if args.oracles else ORACLES
+    )
+    unknown = set(oracles) - set(ORACLES)
+    if unknown:
+        parser.error(f"unknown oracle(s): {','.join(sorted(unknown))}")
+
+    say = (lambda msg: None) if args.quiet else print
+
+    if args.time is not None:
+        deadline = time.monotonic() + args.time
+        reports: List[FuzzReport] = []
+        index = 0
+        while time.monotonic() < deadline:
+            params = _batch_params(
+                args.seed, [args.batch_size], oracles
+            )
+            params[0]["batch"] = index
+            reports.append(_report_from_record(run_batch(params[0])))
+            index += 1
+        say(f"# fuzz seed={args.seed} time={args.time}s "
+            f"-> {index} batch(es)")
+    else:
+        sizes = _split_budget(args.budget, args.batch_size)
+        params = _batch_params(args.seed, sizes, oracles)
+        say(
+            f"# fuzz seed={args.seed} budget={args.budget} "
+            f"batches={len(sizes)} jobs={args.jobs}"
+        )
+        reports = _run_batches(params, args.jobs)
+
+    report = merge_reports(reports, seed=args.seed)
+    say(f"# executed {report.executed} genome(s)")
+    say(f"# coverage: {len(report.coverage)} key(s)")
+    say(
+        f"# corpus: {len(report.entries)} entr"
+        f"{'y' if len(report.entries) == 1 else 'ies'} "
+        f"({len(report.failures)} failure(s))"
+    )
+    for entry in report.failures:
+        say(
+            f"#   {entry.signature}: {len(entry.case.actions)} "
+            f"action(s){' [canary]' if entry.requires_canary else ''}"
+        )
+    if report.skipped:
+        say(f"# skipped oracle checks: {report.skipped}")
+    print(f"# digest: {report.digest()}")
+
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        corpus_path = out / "fuzz-corpus.jsonl"
+        save_corpus(corpus_path, report.entries)
+        report_path = out / "fuzz-report.json"
+        report_path.write_text(
+            json.dumps(report_to_dict(report), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        say(f"# wrote {corpus_path}")
+        say(f"# wrote {report_path}")
+
+    return 1 if report.failures else 0
+
+
+def main() -> None:
+    sys.exit(fuzz_main())
+
+
+if __name__ == "__main__":
+    main()

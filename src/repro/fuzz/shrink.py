@@ -1,0 +1,226 @@
+"""Deterministic delta-debugging shrinker for failing fuzz cases.
+
+``shrink_case`` is predicate-driven: the caller supplies
+``still_fails(case) -> bool`` (typically "re-run only the oracle that
+originally failed") and the shrinker greedily applies
+size-non-increasing transformations, keeping any candidate the
+predicate accepts:
+
+1. **ddmin over actions** — remove chunks of the action sequence,
+   halving chunk size down to single actions;
+2. **window merge** — collapse overlapping same-kind loss / duplicate
+   / reorder windows into one spanning window;
+3. **structure drops** — remove the workload, shrink ``r`` toward the
+   lower bound, halve the duration (discarding now-late actions);
+4. **field weakening** — round action times, lower loss rates /
+   duplicate copies / reorder delays / churn target counts toward
+   their mildest legal values.
+
+Everything is pure function of the input case and the predicate — no
+randomness — so a given failure always shrinks to the same minimal
+reproducer.  Probes are deduplicated by canonical JSON and capped by
+``max_probes``; each probe is expected to warm-start its bootstrap
+prefix from the :class:`~repro.snapshot.CheckpointStore` (the runner
+keys the prefix on everything *except* actions and workload, which is
+exactly what shrink probes vary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.fuzz.genome import (
+    DEFAULT_BOUNDS,
+    FuzzCase,
+    GenomeBounds,
+    to_json,
+    validate_case,
+)
+
+#: window-bearing action kinds eligible for the merge pass
+_WINDOW_KINDS = ("loss", "duplicate", "reorder")
+
+
+@dataclass
+class ShrinkResult:
+    case: FuzzCase
+    probes: int
+    improved: bool
+
+
+def _size(case: FuzzCase) -> Tuple[int, float, int, int, int]:
+    """Lexicographic "smaller is better" metric."""
+    return (
+        len(case.actions),
+        case.duration,
+        case.r,
+        0 if case.workload is None else 1,
+        len(to_json(case)),
+    )
+
+
+class _Budget:
+    def __init__(self, predicate, bounds, max_probes):
+        self.predicate = predicate
+        self.bounds = bounds
+        self.max_probes = max_probes
+        self.probes = 0
+        self.seen: Dict[str, bool] = {}
+
+    def exhausted(self) -> bool:
+        return self.probes >= self.max_probes
+
+    def fails(self, case: FuzzCase) -> bool:
+        key = to_json(case)
+        if key in self.seen:
+            return self.seen[key]
+        try:
+            validate_case(case, self.bounds)
+        except ValueError:
+            self.seen[key] = False
+            return False
+        if self.exhausted():
+            return False
+        self.probes += 1
+        ok = bool(self.predicate(case))
+        self.seen[key] = ok
+        return ok
+
+
+def _with_actions(case: FuzzCase, actions) -> FuzzCase:
+    return replace(case, actions=tuple(actions))
+
+
+def _ddmin_actions(case: FuzzCase, budget: _Budget) -> FuzzCase:
+    actions = list(case.actions)
+    chunk = max(1, len(actions) // 2)
+    while chunk >= 1 and actions:
+        removed_any = False
+        i = 0
+        while i < len(actions):
+            candidate = actions[:i] + actions[i + chunk:]
+            trial = _with_actions(case, candidate)
+            if budget.fails(trial):
+                actions = candidate
+                removed_any = True
+            else:
+                i += chunk
+            if budget.exhausted():
+                return _with_actions(case, actions)
+        if chunk == 1 and not removed_any:
+            break
+        if not removed_any:
+            chunk //= 2
+    return _with_actions(case, actions)
+
+
+def _merge_windows(case: FuzzCase, budget: _Budget) -> FuzzCase:
+    for kind in _WINDOW_KINDS:
+        group = [
+            (i, a) for i, a in enumerate(case.actions) if a["kind"] == kind
+        ]
+        if len(group) < 2:
+            continue
+        (i, a), (j, b) = group[0], group[1]
+        a_end = a["at"] + a["duration"]
+        b_end = b["at"] + b["duration"]
+        if b["at"] > a_end or a["at"] > b_end:
+            continue
+        start = min(a["at"], b["at"])
+        end = min(max(a_end, b_end), case.duration)
+        if end <= start:
+            continue
+        merged = dict(a)
+        merged["at"] = round(start, 1)
+        merged["duration"] = round(end - start, 1)
+        actions = [
+            act for k, act in enumerate(case.actions) if k not in (i, j)
+        ]
+        actions.insert(min(i, j), merged)
+        trial = _with_actions(case, actions)
+        if budget.fails(trial):
+            return trial
+    return case
+
+
+def _drop_structure(case: FuzzCase, budget: _Budget) -> FuzzCase:
+    if case.workload is not None:
+        trial = replace(case, workload=None)
+        if budget.fails(trial):
+            case = trial
+    while case.r > budget.bounds.r_min:
+        trial = replace(case, r=case.r - 1)
+        if not budget.fails(trial):
+            break
+        case = trial
+    while case.duration / 2.0 >= budget.bounds.duration_min:
+        half = round(case.duration / 2.0, 1)
+        kept = tuple(a for a in case.actions if a["at"] <= half)
+        trial = replace(case, duration=half, actions=kept)
+        if not budget.fails(trial):
+            break
+        case = trial
+    return case
+
+
+#: per-kind (field, mildest legal value) weakening targets
+_WEAKEN: Dict[str, Tuple[Tuple[str, object], ...]] = {
+    "loss": (("rate", 0.2), ("duration", 10.0)),
+    "duplicate": (("probability", 0.2), ("copies", 1), ("duration", 10.0)),
+    "reorder": (("max_extra_delay", 0.5), ("duration", 10.0)),
+    "churn": (("duration", 20.0), ("mean_downtime", 2.0)),
+    "clock-skew": (("factor", 1.0),),
+}
+
+
+def _weaken_fields(case: FuzzCase, budget: _Budget) -> FuzzCase:
+    for idx, action in enumerate(case.actions):
+        for field_name, target in _WEAKEN.get(action["kind"], ()):
+            if action.get(field_name) == target:
+                continue
+            weak = dict(action)
+            weak[field_name] = target
+            actions = list(case.actions)
+            actions[idx] = weak
+            trial = _with_actions(case, actions)
+            if budget.fails(trial):
+                case = trial
+                action = weak
+        if action["kind"] == "churn" and len(action["targets"]) > 1:
+            weak = dict(action)
+            weak["targets"] = action["targets"][:1]
+            actions = list(case.actions)
+            actions[idx] = weak
+            trial = _with_actions(case, actions)
+            if budget.fails(trial):
+                case = trial
+    return case
+
+
+def shrink_case(
+    case: FuzzCase,
+    still_fails: Callable[[FuzzCase], bool],
+    bounds: GenomeBounds = DEFAULT_BOUNDS,
+    max_probes: int = 160,
+) -> ShrinkResult:
+    """Shrink ``case`` to a smaller input ``still_fails`` still accepts.
+
+    The input case itself is assumed failing and is never re-probed;
+    if no smaller candidate fails, it is returned unchanged."""
+    budget = _Budget(still_fails, bounds, max_probes)
+    budget.seen[to_json(case)] = True
+    current = case
+    while not budget.exhausted():
+        before = _size(current)
+        current = _ddmin_actions(current, budget)
+        current = _merge_windows(current, budget)
+        current = _drop_structure(current, budget)
+        current = _weaken_fields(current, budget)
+        if _size(current) >= before:
+            break
+    return ShrinkResult(
+        case=current,
+        probes=budget.probes,
+        improved=_size(current) < _size(case),
+    )

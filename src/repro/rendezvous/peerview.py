@@ -53,6 +53,20 @@ _heappop = heapq.heappop
 _ENTRY_POOL_MAX = 1024
 
 
+def _canary_enabled() -> bool:
+    """True when the *planted* fuzzing canary bug is armed.
+
+    ``REPRO_CANARY=1`` makes :meth:`PeerView.expire` leak the ordered-
+    list slot of every third interned key — a deliberate, rare-branch
+    consistency bug used to pin that the fuzzer's find→shrink→corpus
+    loop works end to end (docs/FUZZING.md).  Read dynamically (not at
+    import) so tests can flip it per-case via ``monkeypatch.setenv``.
+    Never set this outside the fuzz/canary test harness."""
+    import os
+
+    return os.environ.get("REPRO_CANARY") == "1"
+
+
 @dataclass(slots=True)
 class PeerViewEntry:
     """One rendezvous advertisement held in a local peerview.
@@ -310,6 +324,23 @@ class PeerView:
                 continue  # removed since the record was pushed
             if now - entry.last_refreshed > pve_expiration:
                 dead.append(self.interner.id_of(key))
+                if _canary_enabled() and key % 3 == 1:
+                    # planted canary (see _canary_enabled): partial
+                    # removal that leaks the _order slot, leaving the
+                    # ordered list inconsistent with the entry map
+                    entries.pop(key, None)
+                    self._key_seq.remove(key)
+                    self._ordered_view = None
+                    self.removes += 1
+                    self._emit(
+                        PeerViewEvent(
+                            time=now,
+                            kind="remove",
+                            subject=self.interner.id_of(key),
+                            reason="expired",
+                        )
+                    )
+                    continue
                 self.remove_by_key(key, now, reason="expired")
             else:
                 _heappush(heap, (entry.last_refreshed, key))

@@ -1,0 +1,185 @@
+"""Direct unit coverage for CLI surfaces introduced alongside the
+observability, benchmarking and checkpointing layers:
+
+* ``jxta-repro trace <target>`` (:func:`repro.obs.cli.trace_main`);
+* ``scripts/bench_trajectory.py memory`` (telemetry pretty-printer);
+* ``jxta-repro <exp> --warm-start / --checkpoint-dir`` parsing and
+  error paths.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.cli import main as cli_main
+from repro.obs.cli import trace_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+# ---------------------------------------------------------------------------
+# jxta-repro trace
+# ---------------------------------------------------------------------------
+
+def test_trace_campaign_target_writes_artefacts(tmp_path, capsys):
+    rc = trace_main(
+        ["fig3-smoke", "--out", str(tmp_path), "--jsonl"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    trace_path = tmp_path / "trace-fig3-smoke.json"
+    jsonl_path = tmp_path / "trace-fig3-smoke.jsonl"
+    metrics_path = tmp_path / "metrics-fig3-smoke.json"
+    for path in (trace_path, jsonl_path, metrics_path):
+        assert path.exists(), path
+        assert f"# wrote {path}" in out
+    trace = json.loads(trace_path.read_text())
+    assert trace["traceEvents"], "chrome trace has no events"
+    assert jsonl_path.read_text().strip(), "JSONL timeline empty"
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics.get("counters"), "metrics snapshot has no counters"
+
+
+def test_trace_categories_filter_limits_events(tmp_path):
+    trace_main(
+        ["fig3-smoke", "--out", str(tmp_path), "--categories",
+         "peerview"]
+    )
+    trace = json.loads(
+        (tmp_path / "trace-fig3-smoke.json").read_text()
+    )
+    cats = {e.get("cat") for e in trace["traceEvents"] if e.get("cat")}
+    assert cats <= {"peerview"}, cats
+
+
+def test_trace_rejects_unknown_target():
+    with pytest.raises(SystemExit) as exc:
+        trace_main(["no-such-target"])
+    assert exc.value.code == 2
+
+
+def test_main_cli_delegates_trace(tmp_path, capsys):
+    rc = cli_main(["trace", "fig3-smoke", "--out", str(tmp_path)])
+    assert rc == 0
+    assert (tmp_path / "trace-fig3-smoke.json").exists()
+    assert "perfetto" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# scripts/bench_trajectory.py memory
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def bench_trajectory():
+    spec = importlib.util.spec_from_file_location(
+        "bench_trajectory", REPO_ROOT / "scripts" / "bench_trajectory.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    saved = sys.modules.get("bench_trajectory")
+    sys.modules["bench_trajectory"] = module
+    spec.loader.exec_module(module)
+    yield module
+    if saved is None:
+        sys.modules.pop("bench_trajectory", None)
+    else:
+        sys.modules["bench_trajectory"] = saved
+
+
+def _fake_report(tmp_path, benchmarks):
+    path = tmp_path / "report.json"
+    path.write_text(json.dumps({"benchmarks": benchmarks}))
+    return str(path)
+
+
+def test_memory_prints_telemetry(bench_trajectory, tmp_path, capsys):
+    report = _fake_report(
+        tmp_path,
+        [
+            {
+                "name": "test_bench_scaling",
+                "stats": {"min": 0.5},
+                "extra_info": {
+                    "peak_rss_kb": 150 * 1024,
+                    "tracemalloc_peak_kb": 2048,
+                    "tracemalloc_alloc_blocks": 777,
+                    "alloc_per_event": 1.25,
+                },
+            }
+        ],
+    )
+    rc = bench_trajectory.main(["memory", report])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "test_bench_scaling: peak RSS 150 MB" in out
+    assert "1.25 allocated blocks/event" in out
+    assert "tracemalloc peak 2.0 MB" in out
+    assert "777 live allocation blocks" in out
+
+
+def test_memory_empty_report_is_an_error(
+    bench_trajectory, tmp_path, capsys
+):
+    report = _fake_report(tmp_path, [])
+    rc = bench_trajectory.main(["memory", report])
+    assert rc == 1
+    assert "no benchmarks found" in capsys.readouterr().err
+
+
+def test_check_enforces_rss_floor(bench_trajectory, tmp_path, capsys):
+    report = _fake_report(
+        tmp_path,
+        [
+            {
+                "name": "b",
+                "stats": {"min": 0.5},
+                "extra_info": {"peak_rss_kb": 2000},
+            }
+        ],
+    )
+    rc = bench_trajectory.main(
+        ["check", report, "--bench", "b", "--max-rss-kb", "1000"]
+    )
+    assert rc == 1
+    assert "more memory than the floor" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# --warm-start / --checkpoint-dir
+# ---------------------------------------------------------------------------
+
+def test_warm_start_miss_then_hit(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    rc = cli_main(
+        ["load", "--warm-start", "--checkpoint-dir", str(cache)]
+    )
+    assert rc == 0
+    first = capsys.readouterr().out
+    assert "# checkpoints: 0 hit(s), 1 miss(es)" in first
+
+    rc = cli_main(
+        ["load", "--warm-start", "--checkpoint-dir", str(cache)]
+    )
+    assert rc == 0
+    second = capsys.readouterr().out
+    assert "# checkpoints: 1 hit(s), 0 miss(es)" in second
+
+
+def test_checkpoint_dir_implies_warm_start(tmp_path, capsys):
+    rc = cli_main(["load", "--checkpoint-dir", str(tmp_path / "c")])
+    assert rc == 0
+    assert "# checkpoints:" in capsys.readouterr().out
+
+
+def test_no_warm_start_no_checkpoint_summary(capsys):
+    rc = cli_main(["load"])
+    assert rc == 0
+    assert "# checkpoints:" not in capsys.readouterr().out
+
+
+def test_seeds_must_be_positive():
+    with pytest.raises(SystemExit) as exc:
+        cli_main(["load", "--seeds", "0"])
+    assert exc.value.code == 2

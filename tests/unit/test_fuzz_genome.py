@@ -1,0 +1,142 @@
+"""Unit tests for the FuzzCase genome codec, validation and decode."""
+
+import random
+
+import pytest
+
+from repro.faults import Scenario
+from repro.fuzz import (
+    DEFAULT_BOUNDS,
+    SEED_CASES,
+    FuzzCase,
+    case_key,
+    crossover,
+    from_dict,
+    from_json,
+    mutate,
+    random_case,
+    to_dict,
+    to_json,
+    validate_case,
+)
+from repro.fuzz.genome import decode_action, decode_scenario, has_churn
+
+
+def test_seed_cases_valid_and_distinct():
+    keys = set()
+    for case in SEED_CASES:
+        validate_case(case, DEFAULT_BOUNDS)
+        keys.add(case_key(case))
+    assert len(keys) == len(SEED_CASES)
+
+
+def test_round_trip_identity():
+    for case in SEED_CASES:
+        assert from_json(to_json(case)) == case
+        assert from_dict(to_dict(case)) == case
+
+
+def test_case_key_is_content_hash():
+    a = FuzzCase(seed=1)
+    b = FuzzCase(seed=1)
+    c = FuzzCase(seed=2)
+    assert case_key(a) == case_key(b)
+    assert case_key(a) != case_key(c)
+    assert len(case_key(a)) == 16
+
+
+def test_unknown_version_rejected():
+    data = to_dict(SEED_CASES[0])
+    data["v"] = 99
+    with pytest.raises(ValueError, match="version"):
+        from_dict(data)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"r": 2},  # below r_min
+        {"r": 99},  # above r_max
+        {"duration": 10.0},  # below duration_min
+        {"topology": "ring"},  # not in bounds.topologies
+        {"pve_expiration": 1.0},
+        {"peerview_interval": 500.0},
+    ],
+)
+def test_out_of_bounds_cases_rejected(kwargs):
+    with pytest.raises(ValueError):
+        validate_case(FuzzCase(**kwargs), DEFAULT_BOUNDS)
+
+
+@pytest.mark.parametrize(
+    "action",
+    [
+        {"kind": "loss", "at": 60.0, "duration": 30.0, "rate": 1.5},
+        {"kind": "loss", "at": 5.0, "duration": 30.0, "rate": 0.5},
+        {"kind": "crash", "at": 60.0},  # missing peer
+        {"kind": "crash", "at": 60.0, "peer": 1, "extra": 1},
+        {"kind": "warp", "at": 60.0},  # unknown kind
+        {"kind": "partition", "at": 60.0, "site_a": "rennes",
+         "site_b": "rennes"},
+        {"kind": "churn", "at": 60.0, "duration": 30.0,
+         "mean_session": 60.0, "mean_downtime": 10.0, "targets": []},
+    ],
+)
+def test_invalid_actions_rejected(action):
+    case = FuzzCase(actions=(action,))
+    with pytest.raises(ValueError):
+        validate_case(case, DEFAULT_BOUNDS)
+
+
+def test_decode_scenario_produces_runnable_scenario():
+    case = SEED_CASES[1]
+    scenario = decode_scenario(case)
+    assert isinstance(scenario, Scenario)
+    assert len(scenario.actions) == len(case.actions)
+    assert scenario.name == f"fuzz-{case_key(case)}"
+
+
+def test_decode_action_folds_peer_indices_modulo_r():
+    action = decode_action({"kind": "crash", "at": 60.0, "peer": 7}, r=6)
+    assert action.peer == "rdv-1"
+
+
+def test_decode_churn_dedups_folded_targets():
+    action = decode_action(
+        {
+            "kind": "churn", "at": 60.0, "duration": 30.0,
+            "mean_session": 60.0, "mean_downtime": 10.0,
+            "targets": [1, 7, 2],  # 7 % 6 == 1, duplicate
+        },
+        r=6,
+    )
+    assert action.targets == ("rdv-1", "rdv-2")
+
+
+def test_has_churn():
+    assert has_churn(SEED_CASES[2])
+    assert not has_churn(SEED_CASES[0])
+
+
+def test_random_case_always_valid():
+    rng = random.Random(7)
+    for _ in range(50):
+        validate_case(random_case(rng, DEFAULT_BOUNDS), DEFAULT_BOUNDS)
+
+
+def test_mutate_and_crossover_always_valid():
+    rng = random.Random(11)
+    pool = [random_case(rng, DEFAULT_BOUNDS) for _ in range(8)]
+    for _ in range(50):
+        child = mutate(rng.choice(pool), rng, DEFAULT_BOUNDS)
+        validate_case(child, DEFAULT_BOUNDS)
+        cross = crossover(
+            rng.choice(pool), rng.choice(pool), rng, DEFAULT_BOUNDS
+        )
+        validate_case(cross, DEFAULT_BOUNDS)
+
+
+def test_generation_is_seed_deterministic():
+    a = [random_case(random.Random(3), DEFAULT_BOUNDS) for _ in range(1)]
+    b = [random_case(random.Random(3), DEFAULT_BOUNDS) for _ in range(1)]
+    assert [to_json(c) for c in a] == [to_json(c) for c in b]
